@@ -1,0 +1,213 @@
+//! Microbenchmarks of the simulation substrate: event calendar, queueing
+//! disciplines, token buckets, traffic generators and the end-to-end
+//! packet path. These guard the engine's throughput — the experiment
+//! harness simulates hundreds of millions of packet events.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use netsim::{
+    Agent, Api, Dequeue, DropTail, Drr, FlowId, Limit, Network, NodeId, Packet, Qdisc, Red,
+    RedMode, RedParams, Sim, StrictPrio, TokenBucket, TrafficClass, VirtualQueue,
+};
+use simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use traffic::{OnOff, PacketProcess, PeriodDist};
+
+fn pkt(id: u64, class: TrafficClass) -> Packet {
+    Packet::new(
+        id,
+        FlowId(id % 64),
+        NodeId(0),
+        NodeId(1),
+        125,
+        class,
+        id,
+        SimTime::ZERO,
+    )
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event-queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule+pop 10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule_at(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn run_qdisc(q: &mut dyn Qdisc, n: u64, class: TrafficClass) -> u64 {
+    let now = SimTime::ZERO;
+    let mut out = 0;
+    for i in 0..n {
+        let _ = q.enqueue(pkt(i, class), now);
+        if i % 2 == 1 {
+            if let Dequeue::Packet(_) = q.dequeue(now) {
+                out += 1;
+            }
+        }
+    }
+    out
+}
+
+fn bench_qdiscs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qdisc");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("drop-tail enqueue/dequeue", |b| {
+        b.iter(|| {
+            let mut q = DropTail::new(Limit::Packets(256));
+            black_box(run_qdisc(&mut q, 10_000, TrafficClass::Data))
+        })
+    });
+    g.bench_function("strict-prio (admission queue, oob)", |b| {
+        b.iter(|| {
+            let mut q = StrictPrio::admission_queue(Limit::Packets(256), true);
+            black_box(run_qdisc(&mut q, 10_000, TrafficClass::Probe))
+        })
+    });
+    g.bench_function("red (drop mode)", |b| {
+        b.iter(|| {
+            let mut q = Red::new(
+                Limit::Packets(256),
+                RedParams::default(),
+                RedMode::Drop,
+                SimRng::new(1),
+            );
+            black_box(run_qdisc(&mut q, 10_000, TrafficClass::Data))
+        })
+    });
+    g.bench_function("drr (64 flows)", |b| {
+        b.iter(|| {
+            let mut q = Drr::new(125, Limit::Packets(256));
+            black_box(run_qdisc(&mut q, 10_000, TrafficClass::Data))
+        })
+    });
+    g.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("token-bucket take", |b| {
+        b.iter(|| {
+            let mut tb = TokenBucket::new(10_000_000, 10_000.0);
+            let mut t = SimTime::ZERO;
+            let mut ok = 0u32;
+            for _ in 0..10_000 {
+                t += SimDuration::from_micros(100);
+                if tb.try_take(125, t) {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+    g.bench_function("virtual-queue marking", |b| {
+        b.iter(|| {
+            let mut vq = VirtualQueue::new(10_000_000, 0.9, 25_000.0);
+            let mut t = SimTime::ZERO;
+            let mut marks = 0u32;
+            for i in 0..10_000 {
+                let mut p = pkt(i, TrafficClass::Data);
+                t += SimDuration::from_micros(90);
+                vq.process(&mut p, t);
+                marks += p.marked as u32;
+            }
+            black_box(marks)
+        })
+    });
+    g.bench_function("exp on/off generator", |b| {
+        b.iter(|| {
+            let mut s = OnOff::new(256_000.0, 0.5, 0.5, PeriodDist::Exponential, 125);
+            let mut rng = SimRng::new(3);
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                let (gap, size) = s.next_packet(&mut rng);
+                acc = acc.wrapping_add(gap.as_nanos()).wrapping_add(size as u64);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end packet path: one sender blasting through a link to a sink.
+struct Blaster {
+    peer: NodeId,
+    left: u64,
+}
+impl Agent for Blaster {
+    fn on_start(&mut self, api: &mut Api) {
+        api.timer_in(SimDuration::ZERO, 0, 0);
+    }
+    fn on_packet(&mut self, _p: Packet, _api: &mut Api) {}
+    fn on_timer(&mut self, _k: u32, _d: u64, api: &mut Api) {
+        if self.left > 0 {
+            self.left -= 1;
+            let p = Packet::new(
+                self.left,
+                FlowId(1),
+                api.node,
+                self.peer,
+                125,
+                TrafficClass::Data,
+                self.left,
+                api.now(),
+            );
+            api.send(p);
+            api.timer_in(SimDuration::from_micros(100), 0, 0);
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+struct Sink;
+impl Agent for Sink {
+    fn on_packet(&mut self, _p: Packet, _api: &mut Api) {}
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end-to-end");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("20k packets through one link", |b| {
+        b.iter(|| {
+            let mut net = Network::new();
+            let a = net.add_node();
+            let z = net.add_node();
+            net.add_link(
+                a,
+                z,
+                10_000_000,
+                SimDuration::from_millis(20),
+                Box::new(DropTail::new(Limit::Packets(200))),
+                None,
+            );
+            let mut sim = Sim::new(net);
+            sim.attach(a, Box::new(Blaster { peer: z, left: 20_000 }));
+            sim.attach(z, Box::new(Sink));
+            sim.run_to_completion();
+            black_box(sim.queue.events_fired())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_qdiscs,
+    bench_components,
+    bench_end_to_end
+);
+criterion_main!(benches);

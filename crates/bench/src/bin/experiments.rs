@@ -1,0 +1,76 @@
+//! CLI regenerating every table and figure of the paper.
+//!
+//! ```text
+//! experiments <target> [--smoke|--quick|--paper]
+//!
+//! targets: fig1 fig2 fig3 fig4 fig5 fig6 fig7
+//!          fig8a fig8b fig8c fig8d fig8e fig8f fig9 fig11
+//!          table3 table4 tables56
+//!          ablate-probe-duration ablate-vq-factor ablate-pushout ablate-buffer ablate-retry
+//!          all          (everything above at the chosen fidelity)
+//! ```
+
+use eac_bench::runner::Fidelity;
+use eac_bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fid = Fidelity::from_args(&args);
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| {
+            eprintln!("usage: experiments <target> [--smoke|--quick|--paper]");
+            eprintln!("targets: fig1 fig2 fig3 fig4..fig7 fig8a..fig8f fig9 fig11");
+            eprintln!("         table3 table4 tables56 ablate-* all");
+            std::process::exit(2);
+        });
+
+    let t0 = std::time::Instant::now();
+    run(&target, fid);
+    eprintln!("\n[{target} done in {:.1?} at {fid:?} fidelity]", t0.elapsed());
+}
+
+fn run(target: &str, fid: Fidelity) {
+    match target {
+        "fig1" => ex::fig1(fid),
+        "fig2" => ex::fig2(fid),
+        "fig3" => ex::fig3(fid),
+        "fig4" => ex::fig4to7(4, fid),
+        "fig5" => ex::fig4to7(5, fid),
+        "fig6" => ex::fig4to7(6, fid),
+        "fig7" => ex::fig4to7(7, fid),
+        "fig8a" => ex::fig8('a', fid),
+        "fig8b" => ex::fig8('b', fid),
+        "fig8c" => ex::fig8('c', fid),
+        "fig8d" => ex::fig8('d', fid),
+        "fig8e" => ex::fig8('e', fid),
+        "fig8f" => ex::fig8('f', fid),
+        "fig9" => ex::fig9(fid),
+        "fig11" => ex::fig11(fid),
+        "table3" => ex::table3(fid),
+        "table4" => ex::table4(fid),
+        "tables56" => ex::tables56(fid),
+        "ablate-probe-duration" => ex::ablate("probe-duration", fid),
+        "ablate-vq-factor" => ex::ablate("vq-factor", fid),
+        "ablate-pushout" => ex::ablate("pushout", fid),
+        "ablate-buffer" => ex::ablate("buffer", fid),
+        "ablate-retry" => ex::ablate("retry", fid),
+        "all" => {
+            for t in [
+                "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b",
+                "fig8c", "fig8d", "fig8e", "fig8f", "fig9", "table3", "table4", "tables56",
+                "fig11", "ablate-probe-duration", "ablate-vq-factor", "ablate-pushout",
+                "ablate-buffer", "ablate-retry",
+            ] {
+                println!("\n=============== {t} ===============");
+                run(t, fid);
+            }
+        }
+        other => {
+            eprintln!("unknown target '{other}'");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! One function per table/figure of the paper. Each prints the same
+//! rows/series the paper reports and persists raw JSON under `results/`.
+
+use crate::catalog::{design, endpoint_designs, eps_grid, fig9_eps, Workload, ETAS_MBAC};
+use crate::output::{fmt_prob, print_table, save_json};
+use crate::runner::{loss_load_curve, Fidelity};
+use eac::coexist::CoexistScenario;
+use eac::design::{Design, Group};
+use eac::metrics::Report;
+use eac::multihop::{product_blocking, MultihopScenario};
+use eac::probe::{Placement, ProbeStyle, Signal};
+use eac::scenario::{run_seeds, Scenario};
+use traffic::SourceSpec;
+
+fn curve_rows(label: &str, reports: &[Report]) -> Vec<Vec<String>> {
+    reports
+        .iter()
+        .map(|r| {
+            vec![
+                label.to_string(),
+                format!("{:.3}", r.param),
+                format!("{:.4}", r.utilization),
+                fmt_prob(r.data_loss),
+                format!("{:.4}", r.blocking),
+                format!("{:.4}", r.probe_overhead),
+            ]
+        })
+        .collect()
+}
+
+const CURVE_HEADER: [&str; 6] = ["design", "eps/eta", "utilization", "loss", "blocking", "probe-ovh"];
+
+/// Run the four endpoint designs (each over its ε grid) plus the MBAC η
+/// sweep on `base`, printing one loss-load curve per design.
+fn loss_load_figure(id: &str, base: &Scenario, style: ProbeStyle, fid: Fidelity) -> Vec<Report> {
+    let mut all = Vec::new();
+    let mut rows = Vec::new();
+    for (label, signal, placement) in endpoint_designs(style) {
+        let designs: Vec<Design> = eps_grid(placement)
+            .into_iter()
+            .map(|e| design(signal, placement, style, e))
+            .collect();
+        let reports = loss_load_curve(base, &designs, fid);
+        rows.extend(curve_rows(label, &reports));
+        all.extend(reports);
+    }
+    let mbac: Vec<Design> = ETAS_MBAC.iter().map(|&eta| Design::mbac(eta)).collect();
+    let reports = loss_load_curve(base, &mbac, fid);
+    rows.extend(curve_rows("MBAC", &reports));
+    all.extend(reports);
+    print_table(&CURVE_HEADER, &rows);
+    save_json(id, &all);
+    all
+}
+
+/// Fig 1 — fluid-model thrashing: utilization and in-band loss vs mean
+/// probe duration.
+pub fn fig1(fid: Fidelity) {
+    println!("# Fig 1 — thrashing in the fluid model");
+    println!("# utilization applies to in-band AND out-of-band probing;");
+    println!("# the loss column is in-band (out-of-band data loss is 0)\n");
+    let (horizon, seeds) = match fid {
+        Fidelity::Smoke => (2_000.0, 2),
+        Fidelity::Quick => (8_000.0, 10),
+        Fidelity::Paper => (14_000.0, 30),
+    };
+    let xs = [1.0, 1.4, 1.8, 2.0, 2.2, 2.4, 2.6, 2.8, 3.0, 3.2, 3.4, 3.6, 4.0, 5.0];
+    let pts = fluid::fig1_sweep(&xs, horizon, seeds);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.mean_probe_s),
+                format!("{:.4}", p.utilization),
+                fmt_prob(p.loss_in_band),
+                format!("{:.1}", p.mean_probing),
+            ]
+        })
+        .collect();
+    print_table(&["probe-s", "utilization", "loss(in-band)", "E[probing]"], &rows);
+    let ser: Vec<(f64, f64, f64)> = pts
+        .iter()
+        .map(|p| (p.mean_probe_s, p.utilization, p.loss_in_band))
+        .collect();
+    save_json("fig1", &ser);
+}
+
+/// Fig 2 — the basic scenario's loss-load curves (5 algorithms).
+pub fn fig2(fid: Fidelity) {
+    println!("# Fig 2 — basic scenario (EXP1, tau=3.5s, slow-start probing)\n");
+    loss_load_figure("fig2", &Workload::Basic.scenario(), ProbeStyle::SlowStart, fid);
+}
+
+/// Fig 3 — longer probing: 5 s vs 25 s slow-start, in-band dropping.
+pub fn fig3(fid: Fidelity) {
+    println!("# Fig 3 — basic scenario with long probing (in-band dropping)\n");
+    let mut rows = Vec::new();
+    let mut all = Vec::new();
+    for (label, probe_s) in [("5 second probes", 5.0), ("25 second probes", 25.0)] {
+        let base = Workload::Basic.scenario().probe_secs(probe_s);
+        let designs: Vec<Design> = eps_grid(Placement::InBand)
+            .into_iter()
+            .map(|e| design(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, e))
+            .collect();
+        let reports = loss_load_curve(&base, &designs, fid);
+        rows.extend(curve_rows(label, &reports));
+        all.extend(reports);
+    }
+    let mbac: Vec<Design> = ETAS_MBAC.iter().map(|&eta| Design::mbac(eta)).collect();
+    let reports = loss_load_curve(&Workload::Basic.scenario(), &mbac, fid);
+    rows.extend(curve_rows("MBAC", &reports));
+    all.extend(reports);
+    print_table(&CURVE_HEADER, &rows);
+    save_json("fig3", &all);
+}
+
+/// Figs 4–7 — high load (τ = 1 s): the three probing algorithms under
+/// each prototype design, against MBAC.
+pub fn fig4to7(which: u8, fid: Fidelity) {
+    let (signal, placement) = match which {
+        4 => (Signal::Drop, Placement::InBand),
+        5 => (Signal::Drop, Placement::OutOfBand),
+        6 => (Signal::Mark, Placement::InBand),
+        7 => (Signal::Mark, Placement::OutOfBand),
+        _ => panic!("fig4to7 takes 4..=7"),
+    };
+    println!(
+        "# Fig {which} — high load (tau=1.0s), {}\n",
+        design(signal, placement, ProbeStyle::Simple, 0.0).name()
+    );
+    let base = Workload::HighLoad.scenario();
+    let mut rows = Vec::new();
+    let mut all = Vec::new();
+    for (label, style) in [
+        ("Simple Probing", ProbeStyle::Simple),
+        ("Slow Start", ProbeStyle::SlowStart),
+        ("Early Reject", ProbeStyle::EarlyReject),
+    ] {
+        let designs: Vec<Design> = eps_grid(placement)
+            .into_iter()
+            .map(|e| design(signal, placement, style, e))
+            .collect();
+        let reports = loss_load_curve(&base, &designs, fid);
+        rows.extend(curve_rows(label, &reports));
+        all.extend(reports);
+    }
+    let mbac: Vec<Design> = ETAS_MBAC.iter().map(|&eta| Design::mbac(eta)).collect();
+    let reports = loss_load_curve(&base, &mbac, fid);
+    rows.extend(curve_rows("MBAC", &reports));
+    all.extend(reports);
+    print_table(&CURVE_HEADER, &rows);
+    save_json(&format!("fig{which}"), &all);
+}
+
+/// Fig 8(a)–(f) — robustness across source models.
+pub fn fig8(letter: char, fid: Fidelity) {
+    let w = match letter {
+        'a' => Workload::Exp2,
+        'b' => Workload::Exp3,
+        'c' => Workload::Poo1,
+        'd' => Workload::StarWars,
+        'e' => Workload::Hetero,
+        'f' => Workload::LowMux,
+        _ => panic!("fig8 takes a..=f"),
+    };
+    println!("# Fig 8({letter}) — robustness: {}\n", w.name());
+    loss_load_figure(&format!("fig8{letter}"), &w.scenario(), ProbeStyle::SlowStart, fid);
+}
+
+/// Fig 9 — loss at a fixed ε across all scenarios, per design.
+pub fn fig9(fid: Fidelity) {
+    println!("# Fig 9 — loss for many scenarios at fixed eps");
+    println!("# (eps = 0.01 in-band, 0.05 out-of-band)\n");
+    let mut rows = Vec::new();
+    let mut ser: Vec<(String, String, f64)> = Vec::new();
+    for (label, signal, placement) in endpoint_designs(ProbeStyle::SlowStart) {
+        let eps = fig9_eps(placement);
+        for w in Workload::ALL {
+            let d = design(signal, placement, ProbeStyle::SlowStart, eps);
+            let s = fid.apply(w.scenario().design(d));
+            let r = run_seeds(&s, &fid.seeds());
+            rows.push(vec![
+                label.to_string(),
+                w.name().to_string(),
+                format!("{:.3}", eps),
+                fmt_prob(r.data_loss),
+                format!("{:.3}", r.utilization),
+            ]);
+            ser.push((label.to_string(), w.name().to_string(), r.data_loss));
+        }
+    }
+    print_table(&["design", "scenario", "eps", "loss", "utilization"], &rows);
+    save_json("fig9", &ser);
+}
+
+/// Table 3 — heterogeneous thresholds: blocking for low- vs high-ε flows.
+pub fn table3(fid: Fidelity) {
+    println!("# Table 3 — blocking probabilities for low and high eps\n");
+    let mut rows = Vec::new();
+    let mut ser: Vec<(String, f64, f64)> = Vec::new();
+    for (label, signal, placement) in endpoint_designs(ProbeStyle::SlowStart) {
+        let high = match placement {
+            Placement::InBand => 0.05,
+            Placement::OutOfBand => 0.20,
+        };
+        let groups = vec![
+            Group::new("low-eps", SourceSpec::exp1(), 1.0).with_epsilon(0.0),
+            Group::new("high-eps", SourceSpec::exp1(), 1.0).with_epsilon(high),
+        ];
+        let d = design(signal, placement, ProbeStyle::SlowStart, 0.0);
+        let s = fid.apply(Workload::Basic.scenario().groups(groups).design(d));
+        let r = run_seeds(&s, &fid.seeds());
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.4}", r.groups[0].blocking),
+            format!("{:.4}", r.groups[1].blocking),
+        ]);
+        ser.push((label.to_string(), r.groups[0].blocking, r.groups[1].blocking));
+    }
+    print_table(&["design", "low-eps blocking", "high-eps blocking"], &rows);
+    save_json("table3", &ser);
+}
+
+/// Table 4 — blocking for small vs large flows in the heterogeneous mix.
+pub fn table4(fid: Fidelity) {
+    println!("# Table 4 — blocking for small vs large flows (heterogeneous mix)");
+    println!("# large = EXP2 (token rate 1024k, 4x the others)\n");
+    let mut rows = Vec::new();
+    let mut ser: Vec<(String, f64, f64)> = Vec::new();
+    let mut run_one = |label: String, d: Design| {
+        let s = fid.apply(Workload::Hetero.scenario().design(d));
+        let r = run_seeds(&s, &fid.seeds());
+        // Groups: EXP1, EXP2, EXP4, POO1. Small = all but EXP2.
+        let small: Vec<&eac::metrics::GroupReport> = r
+            .groups
+            .iter()
+            .filter(|g| g.name != "EXP2")
+            .collect();
+        let dec: u64 = small.iter().map(|g| g.decided).sum();
+        let rej: u64 = small.iter().map(|g| g.rejected).sum();
+        let small_b = if dec == 0 { 0.0 } else { rej as f64 / dec as f64 };
+        let large_b = r.groups[1].blocking;
+        rows.push(vec![
+            label.clone(),
+            format!("{:.4}", small_b),
+            format!("{:.4}", large_b),
+        ]);
+        ser.push((label, small_b, large_b));
+    };
+    for (label, signal, placement) in endpoint_designs(ProbeStyle::SlowStart) {
+        let eps = fig9_eps(placement);
+        run_one(label.to_string(), design(signal, placement, ProbeStyle::SlowStart, eps));
+    }
+    run_one("MBAC".to_string(), Design::mbac(0.9));
+    print_table(&["design", "small flows", "large flows"], &rows);
+    save_json("table4", &ser);
+}
+
+/// Tables 5 and 6 — the multi-hop topology: per-class loss and blocking
+/// with the product approximation.
+pub fn tables56(fid: Fidelity) {
+    println!("# Tables 5 & 6 — multi-hop topology (Fig 10), eps = 0\n");
+    let mut loss_rows = Vec::new();
+    let mut block_rows = Vec::new();
+    let mut ser: Vec<Report> = Vec::new();
+    let mut run_one = |label: String, d: Design| {
+        let (h, w) = fid.lengths();
+        let reports: Vec<Report> = fid
+            .seeds()
+            .iter()
+            .map(|&seed| {
+                MultihopScenario::tables56()
+                    .design(d)
+                    .horizon_secs(h)
+                    .warmup_secs(w)
+                    .seed(seed)
+                    .run()
+            })
+            .collect();
+        let r = Report::average(&reports);
+        let short_loss =
+            (r.groups[0].loss + r.groups[1].loss + r.groups[2].loss) / 3.0;
+        loss_rows.push(vec![
+            label.clone(),
+            fmt_prob(short_loss),
+            fmt_prob(r.groups[3].loss),
+        ]);
+        let cross: Vec<f64> = (0..3).map(|i| r.groups[i].blocking).collect();
+        block_rows.push(vec![
+            label.clone(),
+            format!("{:.3}", cross[0]),
+            format!("{:.3}", cross[1]),
+            format!("{:.3}", cross[2]),
+            format!("{:.3}", r.groups[3].blocking),
+            format!("{:.3}", product_blocking(&cross)),
+        ]);
+        ser.push(r);
+    };
+    for (label, signal, placement) in endpoint_designs(ProbeStyle::SlowStart) {
+        run_one(label.to_string(), design(signal, placement, ProbeStyle::SlowStart, 0.0));
+    }
+    run_one("MBAC".to_string(), Design::mbac(0.9));
+    println!("Table 5 — loss probability (short flows averaged over links)");
+    print_table(&["design", "short flows", "long flows"], &loss_rows);
+    println!("\nTable 6 — blocking probabilities and product approximation");
+    print_table(
+        &["design", "short I", "short II", "short III", "long", "product"],
+        &block_rows,
+    );
+    save_json("tables56", &ser);
+}
+
+/// Fig 11 — TCP coexistence at a legacy drop-tail router.
+pub fn fig11(fid: Fidelity) {
+    println!("# Fig 11 — TCP utilization vs admission-controlled traffic");
+    println!("# (20 TCP Reno flows from t=0; EAC in-band dropping from t=50s)\n");
+    let (horizon, steady) = match fid {
+        Fidelity::Smoke => (400.0, 150.0),
+        Fidelity::Quick => (2_000.0, 500.0),
+        Fidelity::Paper => (14_000.0, 2_000.0),
+    };
+    let mut rows = Vec::new();
+    let mut ser = Vec::new();
+    for eps in [0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.08, 0.10] {
+        let r = CoexistScenario::fig11(eps)
+            .horizon_secs(horizon)
+            .steady_after_secs(steady)
+            .seed(1)
+            .run();
+        rows.push(vec![
+            format!("{eps:.2}"),
+            format!("{:.3}", r.tcp_util),
+            format!("{:.3}", r.eac_util),
+            format!("{:.3}", r.blocking),
+        ]);
+        ser.push(r);
+    }
+    print_table(&["eps", "TCP util", "EAC util", "EAC blocking"], &rows);
+    println!("\n(time series for each eps saved to results/fig11.json)");
+    save_json("fig11", &ser);
+}
+
+/// Ablations of design choices DESIGN.md calls out.
+pub fn ablate(which: &str, fid: Fidelity) {
+    match which {
+        "probe-duration" => {
+            println!("# Ablation — probe duration (in-band dropping, eps=0.01)\n");
+            let mut rows = Vec::new();
+            for dur in [1.0, 2.5, 5.0, 10.0, 25.0] {
+                let d = design(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.01);
+                let s = fid.apply(Workload::Basic.scenario().probe_secs(dur).design(d));
+                let r = run_seeds(&s, &fid.seeds());
+                rows.push(vec![
+                    format!("{dur:.1}"),
+                    format!("{:.4}", r.utilization),
+                    fmt_prob(r.data_loss),
+                    format!("{:.4}", r.blocking),
+                    format!("{:.4}", r.probe_overhead),
+                ]);
+            }
+            print_table(&["probe-s", "utilization", "loss", "blocking", "probe-ovh"], &rows);
+        }
+        "vq-factor" => {
+            println!("# Ablation — virtual-queue rate factor (in-band marking, eps=0.01)\n");
+            let mut rows = Vec::new();
+            for f in [0.8, 0.85, 0.9, 0.95, 1.0] {
+                let d = design(Signal::Mark, Placement::InBand, ProbeStyle::SlowStart, 0.01);
+                let mut s = fid.apply(Workload::Basic.scenario().design(d));
+                s.vq_factor = f;
+                let r = run_seeds(&s, &fid.seeds());
+                rows.push(vec![
+                    format!("{f:.2}"),
+                    format!("{:.4}", r.utilization),
+                    fmt_prob(r.data_loss),
+                    format!("{:.4}", r.blocking),
+                    format!("{:.4}", r.mark_fraction),
+                ]);
+            }
+            print_table(&["vq-factor", "utilization", "loss", "blocking", "mark-frac"], &rows);
+        }
+        "pushout" => {
+            println!("# Ablation — probe push-out (out-of-band dropping, eps=0.05)\n");
+            let mut rows = Vec::new();
+            for (label, push) in [("push-out on", true), ("push-out off", false)] {
+                let d = design(Signal::Drop, Placement::OutOfBand, ProbeStyle::SlowStart, 0.05);
+                let mut s = fid.apply(Workload::HighLoad.scenario().design(d));
+                s.probe_pushout = push;
+                let r = run_seeds(&s, &fid.seeds());
+                rows.push(vec![
+                    label.to_string(),
+                    format!("{:.4}", r.utilization),
+                    fmt_prob(r.data_loss),
+                    format!("{:.4}", r.blocking),
+                ]);
+            }
+            print_table(&["variant", "utilization", "loss", "blocking"], &rows);
+        }
+        "buffer" => {
+            println!("# Ablation — bottleneck buffer size (in-band dropping, eps=0.01)\n");
+            let mut rows = Vec::new();
+            for b in [50usize, 100, 200, 400] {
+                let d = design(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.01);
+                let mut s = fid.apply(Workload::Basic.scenario().design(d));
+                s.buffer_pkts = b;
+                let r = run_seeds(&s, &fid.seeds());
+                rows.push(vec![
+                    format!("{b}"),
+                    format!("{:.4}", r.utilization),
+                    fmt_prob(r.data_loss),
+                    format!("{:.4}", r.blocking),
+                ]);
+            }
+            print_table(&["buffer-pkts", "utilization", "loss", "blocking"], &rows);
+        }
+        "retry" => {
+            println!("# Ablation — footnote-10 retry extension (in-band dropping,");
+            println!("# eps=0.01, ~400% offered load): retries act as extra offered");
+            println!("# load, trading blocking statistics for utilization\n");
+            let mut rows = Vec::new();
+            for (label, retry) in [
+                ("no retries (paper)", None),
+                (
+                    "3 retries, 5s base backoff",
+                    Some(eac::host::RetryPolicy {
+                        max_attempts: 3,
+                        base_backoff: simcore::SimDuration::from_secs(5),
+                    }),
+                ),
+                (
+                    "5 retries, 10s base backoff",
+                    Some(eac::host::RetryPolicy {
+                        max_attempts: 5,
+                        base_backoff: simcore::SimDuration::from_secs(10),
+                    }),
+                ),
+            ] {
+                let d = design(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.01);
+                let mut s = fid.apply(Workload::HighLoad.scenario().design(d));
+                s.retry = retry;
+                let r = run_seeds(&s, &fid.seeds());
+                rows.push(vec![
+                    label.to_string(),
+                    format!("{:.4}", r.utilization),
+                    fmt_prob(r.data_loss),
+                    format!("{:.4}", r.blocking),
+                ]);
+            }
+            print_table(&["variant", "utilization", "loss", "blocking"], &rows);
+        }
+        "red" => {
+            println!("# Ablation — drop-tail vs RED is exercised at qdisc level;");
+            println!("# see netsim::qdisc::red tests and the engine bench.");
+        }
+        other => {
+            eprintln!("unknown ablation '{other}' (probe-duration, vq-factor, pushout, buffer)");
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # eac-bench — the experiment harness
+//!
+//! One entry point per table and figure of the paper (see the
+//! `experiments` binary), plus shared machinery: the workload catalogue
+//! (§3.2/Table 2), the design sweeps (§3.2's ε grids), run-length
+//! presets (`--quick` vs `--paper`), aligned table printing and JSON
+//! persistence under `results/`.
+
+pub mod catalog;
+pub mod experiments;
+pub mod output;
+pub mod runner;
+
+pub use catalog::{Workload, EPS_IN_BAND, EPS_OUT_OF_BAND, ETAS_MBAC};
+pub use output::{print_table, save_json};
+pub use runner::{loss_load_curve, Fidelity};

@@ -1,0 +1,95 @@
+//! Table printing and JSON persistence.
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Print an aligned table: a header row then data rows.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{:<w$}", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Serialize `value` to `results/<id>.json` (creating the directory).
+pub fn save_json<T: Serialize>(id: &str, value: &T) {
+    let dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{id}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialize {id}: {e}"),
+    }
+}
+
+/// Format a probability for tables: fixed for large values, scientific
+/// for tiny ones (the paper's log-scale loss axes span 1e-5..1e-1).
+pub fn fmt_prob(p: f64) -> String {
+    if p == 0.0 {
+        "0".to_string()
+    } else if p < 1e-3 {
+        format!("{p:.1e}")
+    } else {
+        format!("{p:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_formatting() {
+        assert_eq!(fmt_prob(0.0), "0");
+        assert_eq!(fmt_prob(0.0123), "0.0123");
+        assert_eq!(fmt_prob(0.00002), "2.0e-5");
+    }
+
+    #[test]
+    fn tables_do_not_panic() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        print_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

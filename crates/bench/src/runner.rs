@@ -1,0 +1,95 @@
+//! Run-length presets and curve runners.
+
+use eac::design::Design;
+use eac::metrics::Report;
+use eac::scenario::{run_seeds, Scenario};
+
+/// How long and how many seeds to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fidelity {
+    /// A few-minute smoke pass (for harness testing).
+    Smoke,
+    /// The default: shapes hold, minutes per figure on one core.
+    Quick,
+    /// The paper's §3.2 methodology: 14 000 s horizon, 2 000 s warm-up,
+    /// 7 seeds. Hours per figure on one core.
+    Paper,
+}
+
+impl Fidelity {
+    /// Parse from CLI flags (`--smoke`, `--quick`, `--paper`).
+    pub fn from_args(args: &[String]) -> Fidelity {
+        if args.iter().any(|a| a == "--paper") {
+            Fidelity::Paper
+        } else if args.iter().any(|a| a == "--smoke") {
+            Fidelity::Smoke
+        } else {
+            Fidelity::Quick
+        }
+    }
+
+    /// (horizon s, warm-up s).
+    pub fn lengths(self) -> (f64, f64) {
+        match self {
+            Fidelity::Smoke => (400.0, 100.0),
+            Fidelity::Quick => (1_200.0, 250.0),
+            Fidelity::Paper => (14_000.0, 2_000.0),
+        }
+    }
+
+    /// Seeds to average over.
+    pub fn seeds(self) -> Vec<u64> {
+        match self {
+            Fidelity::Smoke => vec![1],
+            Fidelity::Quick => vec![1],
+            Fidelity::Paper => vec![1, 2, 3, 4, 5, 6, 7],
+        }
+    }
+
+    /// Apply run length to a scenario.
+    pub fn apply(self, s: Scenario) -> Scenario {
+        let (h, w) = self.lengths();
+        s.horizon_secs(h).warmup_secs(w)
+    }
+}
+
+/// Run `base` under each design, averaging across the fidelity's seeds;
+/// produces the points of one loss-load curve per design.
+pub fn loss_load_curve(base: &Scenario, designs: &[Design], fid: Fidelity) -> Vec<Report> {
+    designs
+        .iter()
+        .map(|&d| {
+            let s = fid.apply(base.clone().design(d));
+            run_seeds(&s, &fid.seeds())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_parsing_and_lengths() {
+        let args = vec!["--paper".to_string()];
+        assert_eq!(Fidelity::from_args(&args), Fidelity::Paper);
+        assert_eq!(Fidelity::from_args(&[]), Fidelity::Quick);
+        let (h, w) = Fidelity::Paper.lengths();
+        assert_eq!((h, w), (14_000.0, 2_000.0));
+        assert_eq!(Fidelity::Paper.seeds().len(), 7);
+        assert!(Fidelity::Smoke.lengths().0 < Fidelity::Quick.lengths().0);
+    }
+
+    #[test]
+    fn curve_runner_produces_one_report_per_design() {
+        use eac::probe::{Placement, ProbeStyle, Signal};
+        let designs = vec![
+            Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.0),
+            Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.05),
+        ];
+        let base = eac::scenario::Scenario::basic().tau(30.0);
+        let reports = loss_load_curve(&base, &designs, Fidelity::Smoke);
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.measured_s > 0.0));
+    }
+}

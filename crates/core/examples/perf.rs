@@ -1,0 +1,16 @@
+//! Quick performance probe (not part of the library surface).
+fn main() {
+    let t0 = std::time::Instant::now();
+    let r = eac::scenario::Scenario::basic()
+        .horizon_secs(1000.0)
+        .warmup_secs(200.0)
+        .seed(1)
+        .run();
+    println!(
+        "1000s sim in {:.2?}: util {:.3} loss {:.5} blocking {:.3}",
+        t0.elapsed(),
+        r.utilization,
+        r.data_loss,
+        r.blocking
+    );
+}

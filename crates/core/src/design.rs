@@ -1,0 +1,162 @@
+//! Admission-control designs under test and flow population groups.
+
+use crate::probe::{Placement, ProbeStyle, Signal};
+use traffic::SourceSpec;
+
+/// An admission-control design: one of the paper's four endpoint
+/// prototypes (signal × placement, with a probing algorithm and a
+/// threshold ε), or the router-based Measured Sum benchmark.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Design {
+    /// Endpoint admission control.
+    Endpoint {
+        /// Congestion signal (drop or mark).
+        signal: Signal,
+        /// Probe placement (in-band or out-of-band).
+        placement: Placement,
+        /// Probing algorithm.
+        style: ProbeStyle,
+        /// Acceptance threshold ε.
+        epsilon: f64,
+    },
+    /// Measured Sum MBAC benchmark with utilization target η.
+    Mbac {
+        /// Utilization target η.
+        eta: f64,
+    },
+}
+
+impl Design {
+    /// Endpoint design shorthand.
+    pub fn endpoint(signal: Signal, placement: Placement, style: ProbeStyle, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon));
+        Design::Endpoint {
+            signal,
+            placement,
+            style,
+            epsilon,
+        }
+    }
+
+    /// MBAC benchmark shorthand.
+    pub fn mbac(eta: f64) -> Self {
+        assert!(eta > 0.0 && eta <= 1.5);
+        Design::Mbac { eta }
+    }
+
+    /// The four prototype names used in the figures.
+    pub fn name(&self) -> String {
+        match self {
+            Design::Endpoint {
+                signal, placement, ..
+            } => {
+                let s = match signal {
+                    Signal::Drop => "drop",
+                    Signal::Mark => "mark",
+                };
+                let p = match placement {
+                    Placement::InBand => "in-band",
+                    Placement::OutOfBand => "out-of-band",
+                };
+                format!("{s} ({p})")
+            }
+            Design::Mbac { .. } => "MBAC".to_string(),
+        }
+    }
+
+    /// Probe placement (MBAC has none; reported as in-band for queueing).
+    pub fn placement(&self) -> Placement {
+        match self {
+            Design::Endpoint { placement, .. } => *placement,
+            Design::Mbac { .. } => Placement::InBand,
+        }
+    }
+
+    /// Congestion signal (MBAC: Drop — it never marks).
+    pub fn signal(&self) -> Signal {
+        match self {
+            Design::Endpoint { signal, .. } => *signal,
+            Design::Mbac { .. } => Signal::Drop,
+        }
+    }
+}
+
+/// A population of statistically identical flows: a source model, a share
+/// of the arrival process, and optionally its own acceptance threshold
+/// (for the heterogeneous-threshold experiment, Table 3).
+#[derive(Clone, Debug)]
+pub struct Group {
+    /// Label used in reports ("EXP1", "low-eps", "long", ...).
+    pub name: String,
+    /// Traffic source model.
+    pub source: SourceSpec,
+    /// Relative share of flow arrivals (weights need not sum to 1).
+    pub weight: f64,
+    /// Per-group ε override (None = the design's ε).
+    pub epsilon: Option<f64>,
+}
+
+impl Group {
+    /// A group with the design's default threshold.
+    pub fn new(name: impl Into<String>, source: SourceSpec, weight: f64) -> Self {
+        assert!(weight > 0.0);
+        Group {
+            name: name.into(),
+            source,
+            weight,
+            epsilon: None,
+        }
+    }
+
+    /// Override the acceptance threshold for this group.
+    pub fn with_epsilon(mut self, eps: f64) -> Self {
+        self.epsilon = Some(eps);
+        self
+    }
+}
+
+/// Resolve each group's effective ε under `design`.
+pub fn effective_epsilons(design: &Design, groups: &[Group]) -> Vec<f64> {
+    let default = match design {
+        Design::Endpoint { epsilon, .. } => *epsilon,
+        Design::Mbac { .. } => 0.0,
+    };
+    groups
+        .iter()
+        .map(|g| g.epsilon.unwrap_or(default))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(
+            Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.01).name(),
+            "drop (in-band)"
+        );
+        assert_eq!(
+            Design::endpoint(Signal::Mark, Placement::OutOfBand, ProbeStyle::Simple, 0.05).name(),
+            "mark (out-of-band)"
+        );
+        assert_eq!(Design::mbac(0.9).name(), "MBAC");
+    }
+
+    #[test]
+    fn epsilon_resolution() {
+        let d = Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.02);
+        let groups = vec![
+            Group::new("a", SourceSpec::exp1(), 1.0),
+            Group::new("b", SourceSpec::exp1(), 1.0).with_epsilon(0.2),
+        ];
+        assert_eq!(effective_epsilons(&d, &groups), vec![0.02, 0.2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn epsilon_out_of_range_panics() {
+        Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::Simple, 1.5);
+    }
+}

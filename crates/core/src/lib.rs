@@ -1,0 +1,44 @@
+//! # eac — endpoint admission control
+//!
+//! The paper's contribution: hosts probe a path at the rate they want to
+//! reserve, measure the loss (or ECN-mark) fraction of the probe stream,
+//! and admit the flow only if that fraction is at most ε. This crate
+//! implements the sender and receiver halves of that protocol, the three
+//! probing algorithms (simple, early-reject, slow-start), the four
+//! prototype designs (drop/mark × in-band/out-of-band), the Measured Sum
+//! MBAC benchmark, and scenario builders reproducing the paper's
+//! experimental setups.
+//!
+//! Start with [`scenario::Scenario::basic`]:
+//!
+//! ```
+//! use eac::scenario::Scenario;
+//! use eac::design::Design;
+//! use eac::probe::{Signal, Placement, ProbeStyle};
+//!
+//! let report = Scenario::basic()
+//!     .design(Design::endpoint(Signal::Drop, Placement::InBand,
+//!                              ProbeStyle::SlowStart, 0.01))
+//!     .horizon_secs(120.0)
+//!     .warmup_secs(30.0)
+//!     .run();
+//! println!("utilization {:.3}, loss {:.5}", report.utilization, report.data_loss);
+//! ```
+
+pub mod coexist;
+pub mod design;
+pub mod host;
+pub mod mbac;
+pub mod metrics;
+pub mod multihop;
+pub mod msg;
+pub mod probe;
+pub mod scenario;
+pub mod sink;
+
+pub use design::{Design, Group};
+pub use metrics::{GroupReport, Report};
+pub use probe::{Placement, ProbePlan, ProbeStyle, Signal, Stage};
+pub use coexist::{CoexistReport, CoexistScenario};
+pub use multihop::MultihopScenario;
+pub use scenario::{run_seeds, Scenario};

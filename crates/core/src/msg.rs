@@ -1,0 +1,188 @@
+//! Wire encoding of the endpoint control protocol into `Packet::aux`.
+//!
+//! The probing protocol needs four messages: the sender announces a probe
+//! (`ProbeStart`), reports each stage's sent count (`StageEnd`), and the
+//! receiver answers with `Accept` or `Reject`. All ride [`TrafficClass::
+//! Control`] packets. Probe packets themselves carry their stage and
+//! group; data packets carry their group (so sinks can attribute loss
+//! statistics without per-flow lookups).
+//!
+//! Layout (64 bits): type in bits 60..64, fields below. Everything is
+//! round-trip tested.
+
+/// A control-plane message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// Sender begins probing: group index, total expected probe packets,
+    /// whether the in-flight abort rule applies.
+    ProbeStart {
+        /// Flow's group index (statistics bucket).
+        group: u8,
+        /// Total probe packets across all stages.
+        expected: u32,
+        /// Apply the whole-probe in-flight abort rule.
+        abort: bool,
+    },
+    /// Sender finished a stage: its index, packets sent, whether it was
+    /// the last stage.
+    StageEnd {
+        /// Stage index.
+        stage: u8,
+        /// Probe packets sent in this stage.
+        sent: u32,
+        /// True for the final stage (a pass means Accept).
+        is_final: bool,
+    },
+    /// Receiver's verdict: admit the flow.
+    Accept,
+    /// Receiver's verdict: reject the flow.
+    Reject,
+}
+
+const TY_PROBE_START: u64 = 1;
+const TY_STAGE_END: u64 = 2;
+const TY_ACCEPT: u64 = 3;
+const TY_REJECT: u64 = 4;
+
+impl Msg {
+    /// Encode into a `Packet::aux` value.
+    pub fn encode(self) -> u64 {
+        match self {
+            Msg::ProbeStart {
+                group,
+                expected,
+                abort,
+            } => {
+                (TY_PROBE_START << 60)
+                    | ((group as u64) << 52)
+                    | ((abort as u64) << 51)
+                    | expected as u64
+            }
+            Msg::StageEnd {
+                stage,
+                sent,
+                is_final,
+            } => {
+                (TY_STAGE_END << 60)
+                    | ((stage as u64) << 52)
+                    | ((is_final as u64) << 51)
+                    | sent as u64
+            }
+            Msg::Accept => TY_ACCEPT << 60,
+            Msg::Reject => TY_REJECT << 60,
+        }
+    }
+
+    /// Decode from a `Packet::aux` value; `None` for malformed values.
+    pub fn decode(aux: u64) -> Option<Msg> {
+        let ty = aux >> 60;
+        let field8 = ((aux >> 52) & 0xFF) as u8;
+        let flag = (aux >> 51) & 1 == 1;
+        let low32 = (aux & 0xFFFF_FFFF) as u32;
+        match ty {
+            TY_PROBE_START => Some(Msg::ProbeStart {
+                group: field8,
+                expected: low32,
+                abort: flag,
+            }),
+            TY_STAGE_END => Some(Msg::StageEnd {
+                stage: field8,
+                sent: low32,
+                is_final: flag,
+            }),
+            TY_ACCEPT => Some(Msg::Accept),
+            TY_REJECT => Some(Msg::Reject),
+            _ => None,
+        }
+    }
+}
+
+/// Encode a probe packet's metadata: stage and group.
+pub fn probe_aux(stage: u8, group: u8) -> u64 {
+    stage as u64 | ((group as u64) << 8)
+}
+
+/// Decode a probe packet's metadata: (stage, group).
+pub fn decode_probe_aux(aux: u64) -> (u8, u8) {
+    ((aux & 0xFF) as u8, ((aux >> 8) & 0xFF) as u8)
+}
+
+/// Encode a data packet's metadata: group, and whether the packet was
+/// sent inside the measurement window. Loss statistics count only
+/// in-window packets at both sender and receiver, which (after a drain
+/// period) makes the sent/received identity exact — no in-flight bias,
+/// essential for resolving the 1e-5 loss levels of out-of-band marking.
+pub fn data_aux(group: u8, in_window: bool) -> u64 {
+    group as u64 | ((in_window as u64) << 16)
+}
+
+/// Decode a data packet's metadata: (group, in_window).
+pub fn decode_data_aux(aux: u64) -> (u8, bool) {
+    ((aux & 0xFF) as u8, (aux >> 16) & 1 == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_messages() {
+        let msgs = [
+            Msg::ProbeStart {
+                group: 3,
+                expected: 1280,
+                abort: true,
+            },
+            Msg::ProbeStart {
+                group: 0,
+                expected: 0,
+                abort: false,
+            },
+            Msg::StageEnd {
+                stage: 4,
+                sent: 256,
+                is_final: true,
+            },
+            Msg::StageEnd {
+                stage: 0,
+                sent: 16,
+                is_final: false,
+            },
+            Msg::Accept,
+            Msg::Reject,
+        ];
+        for m in msgs {
+            assert_eq!(Msg::decode(m.encode()), Some(m), "roundtrip {m:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_values_roundtrip() {
+        let m = Msg::ProbeStart {
+            group: 255,
+            expected: u32::MAX,
+            abort: true,
+        };
+        assert_eq!(Msg::decode(m.encode()), Some(m));
+        let m = Msg::StageEnd {
+            stage: 255,
+            sent: u32::MAX,
+            is_final: false,
+        };
+        assert_eq!(Msg::decode(m.encode()), Some(m));
+    }
+
+    #[test]
+    fn malformed_decodes_to_none() {
+        assert_eq!(Msg::decode(0), None);
+        assert_eq!(Msg::decode(0xF << 60), None);
+    }
+
+    #[test]
+    fn probe_and_data_aux_roundtrip() {
+        assert_eq!(decode_probe_aux(probe_aux(4, 2)), (4, 2));
+        assert_eq!(decode_probe_aux(probe_aux(0, 255)), (0, 255));
+        assert_eq!(decode_data_aux(data_aux(7, true)), (7, true));
+        assert_eq!(decode_data_aux(data_aux(255, false)), (255, false));
+    }
+}

@@ -1,0 +1,224 @@
+//! Probing algorithms and admission-control design axes (§2.2, §3.1).
+//!
+//! The paper's design space has two axes — congestion signal
+//! ([`Signal::Drop`] vs [`Signal::Mark`]) and probe placement
+//! ([`Placement::InBand`] vs [`Placement::OutOfBand`]) — crossed with
+//! three probing algorithms ([`ProbeStyle`]): simple (probe at rate `r`
+//! for the whole interval), early reject (rate `r`, but checked every
+//! sub-interval) and slow start (rate ramps r/16 → r, checked every
+//! sub-interval).
+
+use simcore::SimDuration;
+
+/// How congestion is signalled to the prober.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Packet drops (loss fraction compared against ε).
+    Drop,
+    /// Virtual-queue ECN marks; the judged fraction counts marked *plus*
+    /// lost packets, since marking routers still drop on real overflow.
+    Mark,
+}
+
+/// Which priority the probe packets travel at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Probes share the data packets' priority class.
+    InBand,
+    /// Probes ride a lower priority class (but above best effort); data
+    /// packets push resident probes out of a full buffer.
+    OutOfBand,
+}
+
+/// The probing algorithm (§3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProbeStyle {
+    /// Probe at rate `r` for the whole interval; a single check at the
+    /// end, plus the in-flight abort rule ("once 51 packets are dropped
+    /// the probing is halted").
+    Simple,
+    /// Probe at rate `r`, but evaluate the loss fraction at the end of
+    /// every one-second sub-interval and reject early if over threshold.
+    EarlyReject,
+    /// Ramp the rate r/16, r/8, r/4, r/2, r across the sub-intervals,
+    /// evaluating at each boundary (§2.2.3's thrashing mitigation).
+    SlowStart,
+}
+
+impl ProbeStyle {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeStyle::Simple => "simple",
+            ProbeStyle::EarlyReject => "early-reject",
+            ProbeStyle::SlowStart => "slow-start",
+        }
+    }
+}
+
+/// One stage of a probe: a rate fraction of `r` held for a duration, with
+/// a pass/fail check at the end.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stage {
+    /// Fraction of the declared token rate `r` to probe at.
+    pub rate_frac: f64,
+    /// Stage length.
+    pub duration: SimDuration,
+}
+
+/// A complete probe schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbePlan {
+    /// The stages, in order.
+    pub stages: Vec<Stage>,
+    /// Whether the sink may abort mid-stage as soon as the loss budget for
+    /// the *whole* probe is exhausted (the simple-probing rule).
+    pub in_flight_abort: bool,
+}
+
+impl ProbePlan {
+    /// Build the plan for `style` with total probing time `total`
+    /// (the paper's default is 5 s; Fig 3 uses 25 s).
+    pub fn new(style: ProbeStyle, total: SimDuration) -> Self {
+        assert!(!total.is_zero());
+        match style {
+            ProbeStyle::Simple => ProbePlan {
+                stages: vec![Stage {
+                    rate_frac: 1.0,
+                    duration: total,
+                }],
+                in_flight_abort: true,
+            },
+            ProbeStyle::EarlyReject => ProbePlan {
+                stages: (0..5)
+                    .map(|_| Stage {
+                        rate_frac: 1.0,
+                        duration: total / 5,
+                    })
+                    .collect(),
+                in_flight_abort: false,
+            },
+            ProbeStyle::SlowStart => ProbePlan {
+                stages: (0..5)
+                    .map(|i| Stage {
+                        rate_frac: 1.0 / (1 << (4 - i)) as f64,
+                        duration: total / 5,
+                    })
+                    .collect(),
+                in_flight_abort: false,
+            },
+        }
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Packets sent in stage `i` for a flow probing at `r_bps` with
+    /// `pkt_bytes`-byte packets (at least 1).
+    pub fn stage_packets(&self, i: usize, r_bps: u64, pkt_bytes: u32) -> u32 {
+        let s = &self.stages[i];
+        let rate = s.rate_frac * r_bps as f64;
+        let n = (s.duration.as_secs_f64() * rate / (8.0 * pkt_bytes as f64)).round();
+        (n as u32).max(1)
+    }
+
+    /// Inter-packet spacing in stage `i`.
+    pub fn stage_spacing(&self, i: usize, r_bps: u64, pkt_bytes: u32) -> SimDuration {
+        let s = &self.stages[i];
+        let rate = s.rate_frac * r_bps as f64;
+        SimDuration::from_secs_f64(pkt_bytes as f64 * 8.0 / rate)
+    }
+
+    /// Total packets across all stages.
+    pub fn total_packets(&self, r_bps: u64, pkt_bytes: u32) -> u32 {
+        (0..self.stages.len())
+            .map(|i| self.stage_packets(i, r_bps, pkt_bytes))
+            .sum()
+    }
+}
+
+/// The pass/fail rule applied to a stage's probe statistics.
+///
+/// `sent` comes from the sender's stage-end report, `received` and
+/// `marked` from the receiver's counters. Returns the congestion fraction
+/// the design's ε is compared against.
+pub fn congestion_fraction(signal: Signal, sent: u32, received: u32, marked: u32) -> f64 {
+    if sent == 0 {
+        return 0.0;
+    }
+    let lost = sent.saturating_sub(received);
+    let events = match signal {
+        Signal::Drop => lost,
+        Signal::Mark => lost + marked,
+    };
+    events as f64 / sent as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIVE_S: SimDuration = SimDuration::from_secs(5);
+
+    #[test]
+    fn simple_plan_is_one_stage_full_rate() {
+        let p = ProbePlan::new(ProbeStyle::Simple, FIVE_S);
+        assert_eq!(p.num_stages(), 1);
+        assert_eq!(p.stages[0].rate_frac, 1.0);
+        assert_eq!(p.stages[0].duration, FIVE_S);
+        assert!(p.in_flight_abort);
+    }
+
+    #[test]
+    fn slow_start_ladder() {
+        let p = ProbePlan::new(ProbeStyle::SlowStart, FIVE_S);
+        let fracs: Vec<f64> = p.stages.iter().map(|s| s.rate_frac).collect();
+        assert_eq!(fracs, vec![1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0]);
+        assert!(p.stages.iter().all(|s| s.duration == SimDuration::from_secs(1)));
+        assert!(!p.in_flight_abort);
+    }
+
+    #[test]
+    fn early_reject_is_full_rate_in_five_checks() {
+        let p = ProbePlan::new(ProbeStyle::EarlyReject, FIVE_S);
+        assert_eq!(p.num_stages(), 5);
+        assert!(p.stages.iter().all(|s| s.rate_frac == 1.0));
+    }
+
+    #[test]
+    fn packet_counts_match_rates() {
+        // EXP1: r = 256 kbps, 125-byte packets -> 256 pkt/s.
+        let p = ProbePlan::new(ProbeStyle::Simple, FIVE_S);
+        assert_eq!(p.stage_packets(0, 256_000, 125), 1280);
+        let ss = ProbePlan::new(ProbeStyle::SlowStart, FIVE_S);
+        // Stage 0 probes at 16 kbps for 1 s = 16 packets.
+        assert_eq!(ss.stage_packets(0, 256_000, 125), 16);
+        assert_eq!(ss.stage_packets(4, 256_000, 125), 256);
+        // Total for slow start = 16+32+64+128+256 = 496.
+        assert_eq!(ss.total_packets(256_000, 125), 496);
+    }
+
+    #[test]
+    fn spacing_is_inverse_rate() {
+        let p = ProbePlan::new(ProbeStyle::Simple, FIVE_S);
+        let sp = p.stage_spacing(0, 256_000, 125);
+        assert_eq!(sp, SimDuration::from_secs_f64(0.00390625));
+    }
+
+    #[test]
+    fn fig3_long_probe_scales_stages() {
+        let p = ProbePlan::new(ProbeStyle::SlowStart, SimDuration::from_secs(25));
+        assert!(p.stages.iter().all(|s| s.duration == FIVE_S));
+    }
+
+    #[test]
+    fn congestion_fraction_rules() {
+        assert_eq!(congestion_fraction(Signal::Drop, 100, 95, 10), 0.05);
+        assert_eq!(congestion_fraction(Signal::Mark, 100, 95, 10), 0.15);
+        assert_eq!(congestion_fraction(Signal::Drop, 0, 0, 0), 0.0);
+        // Receiver can't have more than sent, but guard saturation anyway.
+        assert_eq!(congestion_fraction(Signal::Drop, 10, 12, 0), 0.0);
+    }
+}

@@ -1,0 +1,565 @@
+//! The single-bottleneck scenario of §3.2/§4.1–4.5.
+//!
+//! "All but one of our simulations uses a simple topology with many
+//! sources sharing a single congested link" — 10 Mbps (1 Mbps in the
+//! low-multiplexing case), 20 ms propagation delay, 200-packet buffer.
+//! Following the paper's simplification, the bottleneck link itself runs
+//! at the admission-controlled traffic's allocated share, so no explicit
+//! rate limiter or best-effort background is simulated (the full
+//! rate-limited priority scheduler exists in `netsim` and is exercised by
+//! the ablation benches and the coexistence experiment).
+
+use crate::design::{effective_epsilons, Design, Group};
+use crate::host::{HostAgent, HostConfig};
+use crate::mbac::MbacRegistry;
+use crate::metrics::{GroupReport, Report};
+use crate::probe::{Placement, Signal};
+use crate::sink::{stage_grace, SinkAgent, SinkConfig};
+use netsim::{
+    Agent, Api, DropTail, Limit, Network, NodeId, Packet, Sim, StrictPrio, TrafficClass,
+    VirtualQueue,
+};
+use simcore::{SimDuration, SimRng, SimTime};
+use std::any::Any;
+use traffic::{Demography, SourceSpec};
+
+/// The periodic load-sampler driving MBAC's Measured Sum estimators.
+pub struct MeterAgent {
+    /// Sampling period S.
+    pub period: SimDuration,
+}
+
+impl Agent for MeterAgent {
+    fn on_start(&mut self, api: &mut Api) {
+        api.timer_in(self.period, 0, 0);
+    }
+
+    fn on_packet(&mut self, _pkt: Packet, _api: &mut Api) {}
+
+    fn on_timer(&mut self, _kind: u32, _data: u64, api: &mut Api) {
+        let mut bb = api.net.blackboard.take();
+        if let Some(reg) = bb.as_mut().and_then(|b| b.downcast_mut::<MbacRegistry>()) {
+            reg.sample_all(api.net.links(), api.now());
+        }
+        api.net.blackboard = bb;
+        api.timer_in(self.period, 0, 0);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A single-bottleneck experiment configuration (builder style).
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Admission-control design under test.
+    pub design: Design,
+    /// Flow populations.
+    pub groups: Vec<Group>,
+    /// Mean flow interarrival time τ, seconds.
+    pub tau_s: f64,
+    /// Mean flow lifetime, seconds (§3.2: 300 s).
+    pub lifetime_s: f64,
+    /// Bottleneck bandwidth = the admission-controlled share, bits/s.
+    pub link_bps: u64,
+    /// Bottleneck buffer, packets (§3.2: 200).
+    pub buffer_pkts: usize,
+    /// Propagation delay, milliseconds (§3.2: 20 ms).
+    pub prop_delay_ms: f64,
+    /// Total probing time (5 s default; 25 s in Fig 3).
+    pub probe_total_s: f64,
+    /// Virtual-queue rate factor for marking designs (§3.1: 0.9).
+    pub vq_factor: f64,
+    /// Whether data packets push resident probes out of a full buffer
+    /// (§3.1; true in the paper — switchable for the ablation bench).
+    pub probe_pushout: bool,
+    /// Rejected-flow retry with exponential back-off (the paper's
+    /// footnote-10 extension; None = no retries, as in the paper).
+    pub retry: Option<crate::host::RetryPolicy>,
+    /// MBAC measurement window T.
+    pub mbac_window_s: f64,
+    /// MBAC sampling period S.
+    pub mbac_sample_s: f64,
+    /// Simulation horizon, seconds.
+    pub horizon_s: f64,
+    /// Warm-up discarded from statistics, seconds.
+    pub warmup_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The basic scenario of §4.1: EXP1 sources, τ = 3.5 s, 10 Mbps link,
+    /// slow-start in-band dropping with ε = 0.01. The paper runs 14 000 s
+    /// with a 2 000 s warm-up; the default here is a faster 3 000/500 s —
+    /// pass `.paper_length()` for full fidelity.
+    pub fn basic() -> Self {
+        Scenario {
+            design: Design::endpoint(
+                Signal::Drop,
+                Placement::InBand,
+                crate::probe::ProbeStyle::SlowStart,
+                0.01,
+            ),
+            groups: vec![Group::new("EXP1", SourceSpec::exp1(), 1.0)],
+            tau_s: 3.5,
+            lifetime_s: 300.0,
+            link_bps: 10_000_000,
+            buffer_pkts: 200,
+            prop_delay_ms: 20.0,
+            probe_total_s: 5.0,
+            vq_factor: 0.9,
+            probe_pushout: true,
+            retry: None,
+            mbac_window_s: 1.0,
+            mbac_sample_s: 0.1,
+            horizon_s: 3_000.0,
+            warmup_s: 500.0,
+            seed: 1,
+        }
+    }
+
+    /// Set the design.
+    pub fn design(mut self, d: Design) -> Self {
+        self.design = d;
+        self
+    }
+
+    /// Replace the flow populations.
+    pub fn groups(mut self, groups: Vec<Group>) -> Self {
+        assert!(!groups.is_empty());
+        self.groups = groups;
+        self
+    }
+
+    /// Set mean flow interarrival time τ.
+    pub fn tau(mut self, tau_s: f64) -> Self {
+        assert!(tau_s > 0.0);
+        self.tau_s = tau_s;
+        self
+    }
+
+    /// Set the bottleneck bandwidth.
+    pub fn link_bps(mut self, bps: u64) -> Self {
+        self.link_bps = bps;
+        self
+    }
+
+    /// Set the total probing time.
+    pub fn probe_secs(mut self, s: f64) -> Self {
+        assert!(s > 0.0);
+        self.probe_total_s = s;
+        self
+    }
+
+    /// Set the simulation horizon.
+    pub fn horizon_secs(mut self, s: f64) -> Self {
+        self.horizon_s = s;
+        self
+    }
+
+    /// Set the warm-up length.
+    pub fn warmup_secs(mut self, s: f64) -> Self {
+        self.warmup_s = s;
+        self
+    }
+
+    /// The paper's full-length run: 14 000 s, first 2 000 s discarded.
+    pub fn paper_length(mut self) -> Self {
+        self.horizon_s = 14_000.0;
+        self.warmup_s = 2_000.0;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Largest packet size among the groups (sizes the buffer in bytes).
+    fn max_pkt_bytes(&self) -> u32 {
+        self.groups.iter().map(|g| g.source.pkt_bytes).max().unwrap_or(125)
+    }
+
+    /// Build and run the simulation, producing a [`Report`].
+    pub fn run(&self) -> Report {
+        assert!(self.warmup_s < self.horizon_s);
+        let root = SimRng::new(self.seed);
+
+        // Topology: host -> bottleneck -> sink, fast reverse path.
+        let mut net = Network::new();
+        let host_n = net.add_node();
+        let sink_n = net.add_node();
+        let meter_n = net.add_node(); // timers only; no links
+
+        let out_of_band = self.design.placement() == Placement::OutOfBand;
+        let buffer = Limit::Packets(self.buffer_pkts);
+        let qdisc = Box::new(StrictPrio::admission_queue_opts(
+            buffer,
+            out_of_band,
+            self.probe_pushout,
+        ));
+        let marker = match self.design.signal() {
+            Signal::Mark => Some(VirtualQueue::new(
+                self.link_bps,
+                self.vq_factor,
+                (self.buffer_pkts as u32 * self.max_pkt_bytes()) as f64,
+            )),
+            Signal::Drop => None,
+        };
+        let prop = SimDuration::from_secs_f64(self.prop_delay_ms / 1_000.0);
+        let bottleneck = net.add_link(host_n, sink_n, self.link_bps, prop, qdisc, marker);
+        // Reverse path for verdicts: fast and uncongested.
+        net.add_link(
+            sink_n,
+            host_n,
+            1_000_000_000,
+            prop,
+            Box::new(DropTail::new(Limit::Packets(100_000))),
+            None,
+        );
+
+        let mut sim = Sim::new(net);
+
+        // MBAC registry + meter.
+        if let Design::Mbac { eta } = self.design {
+            let mut reg = MbacRegistry::new(eta);
+            reg.register(
+                bottleneck,
+                self.link_bps as f64,
+                SimDuration::from_secs_f64(self.mbac_window_s),
+            );
+            sim.net.blackboard = Some(Box::new(reg));
+            sim.attach(
+                meter_n,
+                Box::new(MeterAgent {
+                    period: SimDuration::from_secs_f64(self.mbac_sample_s),
+                }),
+            );
+        }
+
+        let horizon = SimTime::from_secs_f64(self.horizon_s);
+        let warmup = SimTime::from_secs_f64(self.warmup_s);
+
+        let host_cfg = HostConfig {
+            sink: sink_n,
+            design: self.design,
+            groups: self.groups.clone(),
+            demography: Demography::new(self.tau_s, self.lifetime_s),
+            probe_total: SimDuration::from_secs_f64(self.probe_total_s),
+            mbac_path: vec![bottleneck],
+            stop_arrivals_at: horizon,
+            start_arrivals_at: SimTime::ZERO,
+            retry: self.retry,
+            measure_start: warmup,
+            measure_end: horizon,
+        };
+        sim.attach(host_n, Box::new(HostAgent::new(host_cfg, root.derive(1))));
+
+        let buffer_bytes = (self.buffer_pkts as u32 * self.max_pkt_bytes()) as u64;
+        let sink_cfg = SinkConfig {
+            signal: self.design.signal(),
+            eps_per_group: effective_epsilons(&self.design, &self.groups),
+            grace: stage_grace(buffer_bytes, self.link_bps, prop),
+        };
+        sim.attach(sink_n, Box::new(SinkAgent::new(sink_cfg)));
+
+        // Warm up, snapshot, measure, then drain so every in-window data
+        // packet has either arrived or been dropped before counters are
+        // read (exact loss accounting).
+        sim.run_until(warmup);
+        for l in sim.net.links_mut() {
+            l.stats.mark_all();
+        }
+        sim.agent::<HostAgent>(host_n).expect("host").stats.mark_all();
+        sim.agent::<SinkAgent>(sink_n).expect("sink").stats.mark_all();
+        sim.run_until(horizon);
+        // Link-level metrics are read at the horizon, before the drain.
+        let link_metrics = self.read_link_metrics(&sim, bottleneck);
+        sim.run_until(horizon + SimDuration::from_secs(5));
+
+        self.collect(&mut sim, host_n, sink_n, link_metrics)
+    }
+
+    fn read_link_metrics(&self, sim: &Sim, bottleneck: netsim::LinkId) -> (f64, f64, f64, f64) {
+        let measured = SimDuration::from_secs_f64(self.horizon_s - self.warmup_s);
+        let stats = &sim.net.link(bottleneck).stats;
+        let util = stats.utilization(TrafficClass::Data, self.link_bps, measured);
+        let loss = stats.drop_fraction(TrafficClass::Data);
+        let data_b = stats.class(TrafficClass::Data).transmitted_bytes.since_mark();
+        let probe_b = stats.class(TrafficClass::Probe).transmitted_bytes.since_mark();
+        let overhead = if data_b + probe_b == 0 {
+            0.0
+        } else {
+            probe_b as f64 / (data_b + probe_b) as f64
+        };
+        let marked = stats.class(TrafficClass::Data).marked.since_mark();
+        let transmitted = stats.class(TrafficClass::Data).transmitted.since_mark();
+        let mark_frac = if transmitted == 0 {
+            0.0
+        } else {
+            marked as f64 / transmitted as f64
+        };
+        (util, loss, overhead, mark_frac)
+    }
+
+    fn collect(
+        &self,
+        sim: &mut Sim,
+        host_n: NodeId,
+        sink_n: NodeId,
+        link_metrics: (f64, f64, f64, f64),
+    ) -> Report {
+        let measured = SimDuration::from_secs_f64(self.horizon_s - self.warmup_s);
+        let (utilization, link_loss, probe_overhead, mark_fraction) = link_metrics;
+
+        // Host/sink per-group counters.
+        let (decided, accepted, rejected, sent): (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>) = {
+            let host = sim.agent::<HostAgent>(host_n).expect("host");
+            (
+                host.stats.decided.iter().map(|c| c.since_mark()).collect(),
+                host.stats.accepted.iter().map(|c| c.since_mark()).collect(),
+                host.stats.rejected.iter().map(|c| c.since_mark()).collect(),
+                host.stats.data_sent.iter().map(|c| c.since_mark()).collect(),
+            )
+        };
+        let (received, delay_ms_mean, delay_ms_std): (Vec<u64>, f64, f64) = {
+            let sink = sim.agent::<SinkAgent>(sink_n).expect("sink");
+            (
+                sink.stats
+                    .data_received
+                    .iter()
+                    .map(|c| c.since_mark())
+                    .collect(),
+                sink.stats.data_delay.mean() * 1_000.0,
+                sink.stats.data_delay.std_dev() * 1_000.0,
+            )
+        };
+
+        let groups: Vec<GroupReport> = self
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let dec = decided[i];
+                let rej = rejected[i];
+                GroupReport {
+                    name: g.name.clone(),
+                    decided: dec,
+                    accepted: accepted[i],
+                    rejected: rej,
+                    blocking: if dec == 0 { 0.0 } else { rej as f64 / dec as f64 },
+                    data_sent: sent[i],
+                    data_received: received[i],
+                    loss: if sent[i] == 0 {
+                        0.0
+                    } else {
+                        1.0 - received[i] as f64 / sent[i] as f64
+                    },
+                }
+            })
+            .collect();
+
+        let total_sent: u64 = sent.iter().sum();
+        let total_recv: u64 = received.iter().sum();
+        let total_dec: u64 = decided.iter().sum();
+        let total_rej: u64 = rejected.iter().sum();
+
+        let param = match self.design {
+            Design::Endpoint { epsilon, .. } => epsilon,
+            Design::Mbac { eta } => eta,
+        };
+
+        Report {
+            design: self.design.name(),
+            param,
+            utilization,
+            data_loss: if total_sent == 0 {
+                0.0
+            } else {
+                1.0 - total_recv as f64 / total_sent as f64
+            },
+            link_loss,
+            blocking: if total_dec == 0 {
+                0.0
+            } else {
+                total_rej as f64 / total_dec as f64
+            },
+            probe_overhead,
+            mark_fraction,
+            delay_ms_mean,
+            delay_ms_std,
+            groups,
+            link_utils: vec![utilization],
+            measured_s: measured.as_secs_f64(),
+            seed: self.seed,
+        }
+    }
+}
+
+/// Run a scenario across several seeds and average the reports.
+pub fn run_seeds(base: &Scenario, seeds: &[u64]) -> Report {
+    assert!(!seeds.is_empty());
+    let reports: Vec<Report> = seeds
+        .iter()
+        .map(|&s| base.clone().seed(s).run())
+        .collect();
+    Report::average(&reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::ProbeStyle;
+
+    fn quick(design: Design) -> Report {
+        Scenario::basic()
+            .design(design)
+            .horizon_secs(260.0)
+            .warmup_secs(60.0)
+            .seed(7)
+            .run()
+    }
+
+    #[test]
+    fn light_load_admits_everything() {
+        // τ = 60 s on a 10 Mbps link: ~5 concurrent 128k flows, no
+        // congestion — everything is admitted, loss is zero.
+        let r = Scenario::basic()
+            .tau(60.0)
+            .horizon_secs(400.0)
+            .warmup_secs(50.0)
+            .seed(3)
+            .run();
+        assert_eq!(r.blocking, 0.0, "{r:?}");
+        assert!(r.data_loss < 1e-4, "loss {}", r.data_loss);
+        assert!(r.utilization > 0.01 && r.utilization < 0.5, "util {}", r.utilization);
+    }
+
+    #[test]
+    fn overload_blocks_flows_and_bounds_loss() {
+        // τ = 1.0 s: ~400% offered load; a large share must be blocked and
+        // utilization must stay high.
+        let r = Scenario::basic()
+            .tau(1.0)
+            .horizon_secs(500.0)
+            .warmup_secs(100.0)
+            .seed(5)
+            .run();
+        assert!(r.blocking > 0.4, "blocking {}", r.blocking);
+        assert!(r.utilization > 0.5, "utilization {}", r.utilization);
+        assert!(r.data_loss < 0.2, "loss {}", r.data_loss);
+    }
+
+    #[test]
+    fn all_four_endpoint_designs_run() {
+        for (sig, pl) in [
+            (Signal::Drop, Placement::InBand),
+            (Signal::Drop, Placement::OutOfBand),
+            (Signal::Mark, Placement::InBand),
+            (Signal::Mark, Placement::OutOfBand),
+        ] {
+            let r = quick(Design::endpoint(sig, pl, ProbeStyle::SlowStart, 0.02));
+            assert!(r.utilization > 0.0, "{sig:?}/{pl:?}: {r:?}");
+            assert!(r.groups[0].decided > 0, "{sig:?}/{pl:?}: no decisions");
+        }
+    }
+
+    #[test]
+    fn mbac_benchmark_runs_and_respects_target() {
+        let r = quick(Design::mbac(0.9));
+        assert!(r.groups[0].decided > 0);
+        // With a 0.9 target the long-run utilization cannot exceed ~1.0.
+        assert!(r.utilization < 1.05, "util {}", r.utilization);
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let a = quick(Design::endpoint(
+            Signal::Drop,
+            Placement::InBand,
+            ProbeStyle::SlowStart,
+            0.01,
+        ));
+        let b = quick(Design::endpoint(
+            Signal::Drop,
+            Placement::InBand,
+            ProbeStyle::SlowStart,
+            0.01,
+        ));
+        assert_eq!(a.utilization, b.utilization);
+        assert_eq!(a.data_loss, b.data_loss);
+        assert_eq!(a.groups[0].decided, b.groups[0].decided);
+    }
+
+    #[test]
+    fn zero_epsilon_is_strictest() {
+        let strict = quick(Design::endpoint(
+            Signal::Drop,
+            Placement::InBand,
+            ProbeStyle::SlowStart,
+            0.0,
+        ));
+        let loose = quick(Design::endpoint(
+            Signal::Drop,
+            Placement::InBand,
+            ProbeStyle::SlowStart,
+            0.05,
+        ));
+        assert!(
+            strict.blocking >= loose.blocking,
+            "strict {} vs loose {}",
+            strict.blocking,
+            loose.blocking
+        );
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+    use crate::host::RetryPolicy;
+    use crate::probe::ProbeStyle;
+
+    #[test]
+    fn retries_raise_effective_load_and_fire_only_on_rejection() {
+        let d = Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.0);
+        // Light load: no rejections, so no retries.
+        let mut light = Scenario::basic()
+            .design(d)
+            .tau(60.0)
+            .horizon_secs(300.0)
+            .warmup_secs(50.0)
+            .seed(2);
+        light.retry = Some(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_secs(5),
+        });
+        let r = light.clone().run();
+        assert_eq!(r.blocking, 0.0);
+
+        // Heavy load: rejections happen and retries fire; the retried
+        // attempts add decisions, so decided count exceeds the no-retry
+        // baseline's.
+        let mut heavy = Scenario::basic()
+            .design(d)
+            .tau(1.0)
+            .horizon_secs(400.0)
+            .warmup_secs(100.0)
+            .seed(2);
+        let base = heavy.clone().run();
+        heavy.retry = Some(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_secs(5),
+        });
+        let with_retry = heavy.run();
+        let base_dec: u64 = base.groups.iter().map(|g| g.decided).sum();
+        let retry_dec: u64 = with_retry.groups.iter().map(|g| g.decided).sum();
+        assert!(
+            retry_dec > base_dec,
+            "retries should add decisions: {retry_dec} vs {base_dec}"
+        );
+    }
+}

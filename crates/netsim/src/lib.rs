@@ -1,0 +1,38 @@
+//! # netsim — packet-level network simulation substrate
+//!
+//! The stand-in for the ns-2 models the paper used: store-and-forward
+//! links driven by a discrete-event calendar, the router queueing
+//! mechanisms the paper's architectural discussion needs (drop-tail, RED,
+//! strict priority with probe push-out and aggregate rate limits, DRR fair
+//! queueing, virtual-queue ECN marking), static minimum-hop routing, and an
+//! ns-2-style [`Agent`] framework for endpoints.
+//!
+//! Layering:
+//!
+//! ```text
+//!   eac / traffic / tcpsim agents      (endpoints)
+//!            │  Agent trait, Api
+//!   ┌────────┴─────────┐
+//!   │  Sim (run loop)  │  Event calendar (simcore::EventQueue)
+//!   │  Network         │  routing, inject/forward
+//!   │  Link            │  bandwidth, propagation, stats
+//!   │  Qdisc           │  DropTail / Red / StrictPrio / Drr (+ VirtualQueue)
+//!   └──────────────────┘
+//! ```
+
+pub mod link;
+pub mod packet;
+pub mod qdisc;
+pub mod sim;
+pub mod topo;
+pub mod trace;
+
+pub use link::{ClassStats, Link, LinkStats};
+pub use packet::{FlowId, LinkId, NodeId, Packet, TrafficClass};
+pub use qdisc::{
+    class_band_map, Band, Dequeue, Drr, DropTail, Enqueued, Limit, Qdisc, Red, RedMode, RedParams, StrictPrio,
+    TokenBucket, VirtualQueue,
+};
+pub use sim::{Agent, Api, Event, Sim};
+pub use topo::Network;
+pub use trace::{TraceKind, TraceRecord, Tracer};

@@ -1,0 +1,358 @@
+//! Unidirectional links: a queueing discipline feeding a transmitter with
+//! fixed bandwidth and propagation delay, plus per-class statistics.
+
+use crate::packet::{LinkId, NodeId, Packet, TrafficClass};
+use crate::qdisc::{Dequeue, Qdisc, VirtualQueue};
+use crate::trace::{TraceKind, Tracer};
+use simcore::stats::Counter;
+use simcore::{SimDuration, SimTime};
+
+/// Arrival/drop/mark/departure counters for one traffic class on one link.
+#[derive(Clone, Debug, Default)]
+pub struct ClassStats {
+    /// Packets offered to the queue (before any drop decision).
+    pub offered: Counter,
+    /// Bytes offered.
+    pub offered_bytes: Counter,
+    /// Packets dropped (tail drop, RED drop, or push-out eviction).
+    pub dropped: Counter,
+    /// Packets that left the queue carrying an ECN mark.
+    pub marked: Counter,
+    /// Packets transmitted onto the wire.
+    pub transmitted: Counter,
+    /// Bytes transmitted.
+    pub transmitted_bytes: Counter,
+}
+
+/// Per-link statistics, indexed by [`TrafficClass`].
+#[derive(Clone, Debug, Default)]
+pub struct LinkStats {
+    per_class: [ClassStats; TrafficClass::COUNT],
+}
+
+impl LinkStats {
+    /// Stats for one class.
+    pub fn class(&self, c: TrafficClass) -> &ClassStats {
+        &self.per_class[c.index()]
+    }
+
+    fn class_mut(&mut self, c: TrafficClass) -> &mut ClassStats {
+        &mut self.per_class[c.index()]
+    }
+
+    /// Snapshot all counters (start of the measurement window, i.e. end of
+    /// warm-up). Subsequent reads via `since_mark()` exclude the warm-up.
+    pub fn mark_all(&mut self) {
+        for cs in &mut self.per_class {
+            cs.offered.mark();
+            cs.offered_bytes.mark();
+            cs.dropped.mark();
+            cs.marked.mark();
+            cs.transmitted.mark();
+            cs.transmitted_bytes.mark();
+        }
+    }
+
+    /// Fraction of `class` packets dropped since the mark (drops/offered).
+    pub fn drop_fraction(&self, c: TrafficClass) -> f64 {
+        let cs = self.class(c);
+        let offered = cs.offered.since_mark();
+        if offered == 0 {
+            0.0
+        } else {
+            cs.dropped.since_mark() as f64 / offered as f64
+        }
+    }
+
+    /// Utilization of `class` since the mark against a reference rate:
+    /// transmitted bytes / (`rate_bps` × `interval`).
+    pub fn utilization(&self, c: TrafficClass, rate_bps: u64, interval: SimDuration) -> f64 {
+        let secs = interval.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        let bits = self.class(c).transmitted_bytes.since_mark() as f64 * 8.0;
+        bits / (rate_bps as f64 * secs)
+    }
+}
+
+/// A unidirectional link.
+///
+/// Owns its queueing discipline and (optionally) a [`VirtualQueue`] ECN
+/// marker that every arriving admission-controlled packet passes through
+/// before the real queue (§3.1).
+pub struct Link {
+    /// This link's id.
+    pub id: LinkId,
+    /// Upstream node.
+    pub from: NodeId,
+    /// Downstream node.
+    pub to: NodeId,
+    /// Transmission rate, bits/second.
+    pub bandwidth_bps: u64,
+    /// Propagation delay.
+    pub prop_delay: SimDuration,
+    qdisc: Box<dyn Qdisc>,
+    marker: Option<VirtualQueue>,
+    in_flight: Option<Packet>,
+    /// Earliest pending `TryDequeue` wake-up, to avoid duplicate events.
+    wakeup_at: Option<SimTime>,
+    /// Per-class counters.
+    pub stats: LinkStats,
+}
+
+/// What a link wants the driver to do after an operation.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LinkAction {
+    /// Nothing to schedule.
+    None,
+    /// Schedule a `TxComplete` for this link at the given time.
+    TxCompleteAt(SimTime),
+    /// Schedule a `TryDequeue` for this link at the given time.
+    WakeupAt(SimTime),
+}
+
+impl Link {
+    /// Build a link; `marker` enables virtual-queue ECN marking.
+    pub fn new(
+        id: LinkId,
+        from: NodeId,
+        to: NodeId,
+        bandwidth_bps: u64,
+        prop_delay: SimDuration,
+        qdisc: Box<dyn Qdisc>,
+        marker: Option<VirtualQueue>,
+    ) -> Self {
+        assert!(bandwidth_bps > 0);
+        Link {
+            id,
+            from,
+            to,
+            bandwidth_bps,
+            prop_delay,
+            qdisc,
+            marker,
+            in_flight: None,
+            wakeup_at: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Offer a packet to the link's queue, updating statistics and (if
+    /// tracing is enabled) the trace.
+    pub fn receive(&mut self, mut pkt: Packet, now: SimTime, tracer: &mut Option<Tracer>) {
+        let class = pkt.class;
+        self.stats.class_mut(class).offered.inc();
+        self.stats
+            .class_mut(class)
+            .offered_bytes
+            .add(pkt.size as u64);
+        if let Some(m) = &mut self.marker {
+            let was_marked = pkt.marked;
+            m.process(&mut pkt, now);
+            if pkt.marked && !was_marked {
+                self.stats.class_mut(class).marked.inc();
+            }
+        }
+        let id = self.id;
+        let (flow, seq, size) = (pkt.flow.0, pkt.seq, pkt.size);
+        if let Some(t) = tracer.as_mut() {
+            t.record(now, TraceKind::Enqueue, Some(id), &pkt);
+        }
+        let outcome = self.qdisc.enqueue(pkt, now);
+        if !outcome.accepted {
+            self.stats.class_mut(class).dropped.inc();
+            if let Some(t) = tracer.as_mut() {
+                t.record_raw(now, TraceKind::Drop, Some(id), flow, class, seq, size);
+            }
+        }
+        for victim in outcome.evicted {
+            self.stats.class_mut(victim.class).dropped.inc();
+            if let Some(t) = tracer.as_mut() {
+                t.record(now, TraceKind::Evict, Some(id), &victim);
+            }
+        }
+    }
+
+    /// If idle, try to start transmitting; report what to schedule.
+    pub fn try_start(&mut self, now: SimTime) -> LinkAction {
+        if self.in_flight.is_some() {
+            return LinkAction::None;
+        }
+        match self.qdisc.dequeue(now) {
+            Dequeue::Packet(p) => {
+                let tx = SimDuration::transmission(p.size, self.bandwidth_bps);
+                self.in_flight = Some(p);
+                LinkAction::TxCompleteAt(now + tx)
+            }
+            Dequeue::NotBefore(t) => {
+                // Deduplicate wake-ups: only schedule if nothing earlier or
+                // equal is already pending.
+                let stale = self.wakeup_at.is_none_or(|w| w <= now || w > t);
+                if stale {
+                    self.wakeup_at = Some(t);
+                    LinkAction::WakeupAt(t)
+                } else {
+                    LinkAction::None
+                }
+            }
+            Dequeue::Empty => LinkAction::None,
+        }
+    }
+
+    /// Complete the in-flight transmission; returns the packet (now to be
+    /// propagated to `self.to`).
+    pub fn tx_complete(&mut self, now: SimTime, tracer: &mut Option<Tracer>) -> Packet {
+        let p = self
+            .in_flight
+            .take()
+            .expect("TxComplete on a link with nothing in flight");
+        let cs = self.stats.class_mut(p.class);
+        cs.transmitted.inc();
+        cs.transmitted_bytes.add(p.size as u64);
+        if let Some(t) = tracer.as_mut() {
+            t.record(now, TraceKind::Transmit, Some(self.id), &p);
+        }
+        p
+    }
+
+    /// Handle a `TryDequeue` wake-up.
+    pub fn wakeup(&mut self, now: SimTime) -> LinkAction {
+        self.wakeup_at = None;
+        self.try_start(now)
+    }
+
+    /// Packets currently buffered (excluding any packet on the wire).
+    pub fn queue_len(&self) -> usize {
+        self.qdisc.len_packets()
+    }
+
+    /// Bytes currently buffered.
+    pub fn queue_bytes(&self) -> u64 {
+        self.qdisc.len_bytes()
+    }
+
+    /// Whether the transmitter is busy.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+    use crate::qdisc::{DropTail, Limit};
+
+    fn link() -> Link {
+        Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            10_000_000, // 10 Mbps
+            SimDuration::from_millis(20),
+            Box::new(DropTail::new(Limit::Packets(2))),
+            None,
+        )
+    }
+
+    fn pkt(id: u64) -> Packet {
+        Packet::new(
+            id,
+            FlowId(0),
+            NodeId(0),
+            NodeId(1),
+            125,
+            TrafficClass::Data,
+            id,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn transmit_cycle() {
+        let mut l = link();
+        let t0 = SimTime::ZERO;
+        l.receive(pkt(0), t0, &mut None);
+        match l.try_start(t0) {
+            LinkAction::TxCompleteAt(t) => {
+                // 125 B at 10 Mbps = 100 us.
+                assert_eq!(t, t0 + SimDuration::from_micros(100));
+                assert!(l.is_busy());
+                let p = l.tx_complete(t, &mut None);
+                assert_eq!(p.id, 0);
+                assert!(!l.is_busy());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(l.stats.class(TrafficClass::Data).transmitted.total(), 1);
+    }
+
+    #[test]
+    fn busy_link_does_not_restart() {
+        let mut l = link();
+        l.receive(pkt(0), SimTime::ZERO, &mut None);
+        l.receive(pkt(1), SimTime::ZERO, &mut None);
+        assert!(matches!(
+            l.try_start(SimTime::ZERO),
+            LinkAction::TxCompleteAt(_)
+        ));
+        assert_eq!(l.try_start(SimTime::ZERO), LinkAction::None);
+    }
+
+    #[test]
+    fn overflow_counts_drops() {
+        let mut l = link();
+        for i in 0..5 {
+            l.receive(pkt(i), SimTime::ZERO, &mut None);
+        }
+        assert_eq!(l.stats.class(TrafficClass::Data).offered.total(), 5);
+        assert_eq!(l.stats.class(TrafficClass::Data).dropped.total(), 3);
+        assert!((l.stats.drop_fraction(TrafficClass::Data) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marker_marks_and_counts() {
+        let mut l = Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            10_000_000,
+            SimDuration::ZERO,
+            Box::new(DropTail::new(Limit::Packets(1000))),
+            Some(VirtualQueue::new(10_000_000, 0.9, 2.0 * 125.0)),
+        );
+        // Burst enough packets at one instant to overwhelm the tiny VQ.
+        for i in 0..10 {
+            l.receive(pkt(i), SimTime::ZERO, &mut None);
+        }
+        assert!(l.stats.class(TrafficClass::Data).marked.total() >= 8);
+        // Marked packets are still queued (marking, not dropping).
+        assert_eq!(l.queue_len(), 10);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut l = link();
+        let t0 = SimTime::ZERO;
+        l.receive(pkt(0), t0, &mut None);
+        if let LinkAction::TxCompleteAt(t) = l.try_start(t0) {
+            l.tx_complete(t, &mut None);
+        }
+        // 125 bytes over 1 second at 10 Mbps reference = 1e3 bits / 1e7.
+        let u = l
+            .stats
+            .utilization(TrafficClass::Data, 10_000_000, SimDuration::from_secs(1));
+        assert!((u - 0.0001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_marking_resets_ratios() {
+        let mut l = link();
+        for i in 0..5 {
+            l.receive(pkt(i), SimTime::ZERO, &mut None);
+        }
+        l.stats.mark_all();
+        assert_eq!(l.stats.drop_fraction(TrafficClass::Data), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Packets and identifiers.
+
+use simcore::SimTime;
+use std::fmt;
+
+/// Index of a node in the topology.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Index of a unidirectional link in the topology.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// Globally unique flow identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Traffic classes, in the priority order the paper's prototype designs
+/// assume (§2.1.2–2.1.3): control and admission-controlled data highest,
+/// probes below data but above best effort.
+///
+/// The numeric discriminant doubles as an index into per-class statistic
+/// arrays; keep [`TrafficClass::COUNT`] in sync.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum TrafficClass {
+    /// Signalling/feedback packets (accept/reject notices, TCP ACKs). These
+    /// ride the highest band; the paper does not model signalling loss.
+    Control = 0,
+    /// Admission-controlled data traffic.
+    Data = 1,
+    /// Probe packets. With *in-band* probing the scheduler maps this class
+    /// to the same band as [`TrafficClass::Data`]; with *out-of-band*
+    /// probing it gets its own lower band.
+    Probe = 2,
+    /// Ordinary best-effort traffic (e.g. TCP in the incremental-deployment
+    /// study).
+    BestEffort = 3,
+}
+
+impl TrafficClass {
+    /// Number of classes (array dimension for per-class stats).
+    pub const COUNT: usize = 4;
+    /// All classes, in discriminant order.
+    pub const ALL: [TrafficClass; Self::COUNT] = [
+        TrafficClass::Control,
+        TrafficClass::Data,
+        TrafficClass::Probe,
+        TrafficClass::BestEffort,
+    ];
+
+    /// Discriminant as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A simulated packet.
+///
+/// Packets are plain values moved through queues and events; there is no
+/// payload, only accounting metadata.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Globally unique packet id (assigned by the sender).
+    pub id: u64,
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Origin node.
+    pub src: NodeId,
+    /// Destination node (delivery target).
+    pub dst: NodeId,
+    /// Size on the wire, bytes.
+    pub size: u32,
+    /// Traffic class (drives scheduling priority).
+    pub class: TrafficClass,
+    /// Per-flow sequence number (receivers detect losses as gaps).
+    pub seq: u64,
+    /// ECN congestion-experienced mark, set by virtual-queue markers.
+    pub marked: bool,
+    /// Time the sender created the packet (for delay accounting).
+    pub created: SimTime,
+    /// Opaque endpoint-defined metadata (e.g. probe stage, control payload).
+    /// Routers never read it.
+    pub aux: u64,
+}
+
+impl Packet {
+    /// Convenience constructor; `id` and `seq` start at the given values and
+    /// `marked` clear.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u64,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        size: u32,
+        class: TrafficClass,
+        seq: u64,
+        created: SimTime,
+    ) -> Self {
+        Packet {
+            id,
+            flow,
+            src,
+            dst,
+            size,
+            class,
+            seq,
+            marked: false,
+            created,
+            aux: 0,
+        }
+    }
+
+    /// Set the endpoint metadata field (builder style).
+    pub fn with_aux(mut self, aux: u64) -> Self {
+        self.aux = aux;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_dense() {
+        for (i, c) in TrafficClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(TrafficClass::ALL.len(), TrafficClass::COUNT);
+    }
+
+    #[test]
+    fn packet_construction() {
+        let p = Packet::new(
+            1,
+            FlowId(7),
+            NodeId(0),
+            NodeId(1),
+            125,
+            TrafficClass::Probe,
+            3,
+            SimTime::ZERO,
+        );
+        assert_eq!(p.size, 125);
+        assert!(!p.marked);
+        assert_eq!(p.class, TrafficClass::Probe);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(2).to_string(), "l2");
+        assert_eq!(FlowId(9).to_string(), "f9");
+    }
+}

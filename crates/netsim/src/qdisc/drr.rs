@@ -1,0 +1,302 @@
+//! Deficit Round Robin fair queueing [Shreedhar & Varghese 1996].
+//!
+//! §2.1.1 of the paper argues that fair queueing must *not* be used for
+//! admission-controlled traffic because its per-flow isolation lets later
+//! arrivals steal bandwidth from already-admitted larger flows. We
+//! implement DRR so that the `stolen_bandwidth` example and the
+//! architectural tests can demonstrate exactly that failure mode.
+
+use super::{Dequeue, Enqueued, Limit, Qdisc};
+use crate::packet::{FlowId, Packet};
+use simcore::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+
+struct FlowQueue {
+    packets: VecDeque<Packet>,
+    bytes: u64,
+    deficit: u64,
+    active: bool,
+    /// True when the flow is starting a new round and should receive a
+    /// quantum top-up on its next visit. Cleared while the flow continues
+    /// to be served within the current round's deficit.
+    fresh: bool,
+}
+
+impl FlowQueue {
+    fn new() -> Self {
+        FlowQueue {
+            packets: VecDeque::new(),
+            bytes: 0,
+            deficit: 0,
+            active: false,
+            fresh: true,
+        }
+    }
+}
+
+/// A DRR scheduler with per-flow queues, a shared buffer limit, and
+/// longest-queue drop on overflow.
+pub struct Drr {
+    flows: BTreeMap<FlowId, FlowQueue>,
+    /// Round-robin order of active flows.
+    active: VecDeque<FlowId>,
+    quantum: u64,
+    limit: Limit,
+    total_pkts: usize,
+    total_bytes: u64,
+}
+
+impl Drr {
+    /// A DRR scheduler serving `quantum` bytes per flow per round.
+    pub fn new(quantum: u64, limit: Limit) -> Self {
+        assert!(quantum > 0);
+        Drr {
+            flows: BTreeMap::new(),
+            active: VecDeque::new(),
+            quantum,
+            limit,
+            total_pkts: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Drop from the tail of the flow with the most buffered bytes
+    /// (longest-queue drop), returning the victim. Ties break toward the
+    /// highest flow id (max_by_key keeps the last maximum; BTreeMap order
+    /// makes that deterministic).
+    fn drop_from_longest(&mut self) -> Option<Packet> {
+        let victim_flow = self
+            .flows
+            .iter()
+            .filter(|(_, q)| !q.packets.is_empty())
+            .max_by_key(|(_, q)| q.bytes)
+            .map(|(&f, _)| f)?;
+        let q = self.flows.get_mut(&victim_flow).expect("exists");
+        let victim = q.packets.pop_back().expect("non-empty");
+        q.bytes -= victim.size as u64;
+        self.total_pkts -= 1;
+        self.total_bytes -= victim.size as u64;
+        Some(victim)
+    }
+}
+
+impl Qdisc for Drr {
+    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
+        let mut evicted = Vec::new();
+        while self
+            .limit
+            .would_overflow(self.total_pkts, self.total_bytes, pkt.size)
+        {
+            // Longest-queue drop: fair queueing polices its own buffer by
+            // penalising the biggest occupant; the arriving packet itself
+            // is dropped only if its flow *is* the biggest occupant (which
+            // drop_from_longest handles by evicting from that flow's tail).
+            match self.drop_from_longest() {
+                Some(v) => evicted.push(v),
+                None => return Enqueued::dropped(), // buffer can't fit it at all
+            }
+        }
+        let flow = pkt.flow;
+        let q = self.flows.entry(flow).or_insert_with(FlowQueue::new);
+        q.bytes += pkt.size as u64;
+        self.total_pkts += 1;
+        self.total_bytes += pkt.size as u64;
+        q.packets.push_back(pkt);
+        if !q.active {
+            q.active = true;
+            q.deficit = 0;
+            q.fresh = true;
+            self.active.push_back(flow);
+        }
+        Enqueued {
+            accepted: true,
+            evicted,
+        }
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Dequeue {
+        if self.total_pkts == 0 {
+            return Dequeue::Empty;
+        }
+        loop {
+            // One full round: visit each active flow once, topping up the
+            // deficit by one quantum per visit.
+            let mut visits = self.active.len();
+            let mut min_gap: Option<u64> = None;
+            while visits > 0 {
+                visits -= 1;
+                let Some(flow) = self.active.pop_front() else {
+                    break;
+                };
+                let q = self.flows.get_mut(&flow).expect("active flow exists");
+                if q.packets.is_empty() {
+                    q.active = false;
+                    q.deficit = 0;
+                    continue;
+                }
+                if q.fresh {
+                    q.deficit += self.quantum;
+                    q.fresh = false;
+                }
+                let head_size = q.packets.front().expect("non-empty").size as u64;
+                if head_size <= q.deficit {
+                    q.deficit -= head_size;
+                    let pkt = q.packets.pop_front().expect("non-empty");
+                    q.bytes -= pkt.size as u64;
+                    self.total_pkts -= 1;
+                    self.total_bytes -= pkt.size as u64;
+                    if q.packets.is_empty() {
+                        q.active = false;
+                        q.deficit = 0;
+                    } else {
+                        self.active.push_front(flow); // keep serving within deficit
+                    }
+                    return Dequeue::Packet(pkt);
+                }
+                // Deficit too small: move to the back of the round with a
+                // fresh quantum due on the next visit.
+                min_gap = Some(min_gap.map_or(head_size - q.deficit, |g| {
+                    g.min(head_size - q.deficit)
+                }));
+                q.fresh = true;
+                self.active.push_back(flow);
+            }
+            if self.active.is_empty() {
+                // Every remaining flow record was empty.
+                debug_assert_eq!(self.total_pkts, 0);
+                return Dequeue::Empty;
+            }
+            // A whole round passed without service (every head exceeds its
+            // deficit by at least `min_gap`). Skip ahead the number of
+            // whole rounds the closest flow still needs — equivalent to
+            // running that many idle DRR rounds, but O(flows) instead of
+            // O(packet_size / quantum).
+            if let Some(gap) = min_gap {
+                let extra_rounds = gap.div_ceil(self.quantum).saturating_sub(1);
+                if extra_rounds > 0 {
+                    for flow in self.active.iter() {
+                        let q = self.flows.get_mut(flow).expect("active flow exists");
+                        q.deficit += extra_rounds * self.quantum;
+                    }
+                }
+            }
+        }
+    }
+
+    fn len_packets(&self) -> usize {
+        self.total_pkts
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{NodeId, TrafficClass};
+
+    fn pkt(flow: u64, id: u64, size: u32) -> Packet {
+        Packet::new(
+            id,
+            FlowId(flow),
+            NodeId(0),
+            NodeId(1),
+            size,
+            TrafficClass::Data,
+            id,
+            SimTime::ZERO,
+        )
+    }
+
+    fn drain(q: &mut Drr) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Dequeue::Packet(p) = q.dequeue(SimTime::ZERO) {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn equal_flows_get_interleaved_service() {
+        let mut q = Drr::new(125, Limit::Packets(100));
+        for i in 0..6 {
+            q.enqueue(pkt(1, i, 125), SimTime::ZERO);
+            q.enqueue(pkt(2, 100 + i, 125), SimTime::ZERO);
+        }
+        let out = drain(&mut q);
+        // Per round each flow sends one packet: perfect alternation.
+        let flow_seq: Vec<u64> = out.iter().map(|p| p.flow.0).collect();
+        assert_eq!(flow_seq, vec![1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn byte_fairness_with_unequal_packet_sizes() {
+        // Flow 1 sends 250-byte packets, flow 2 sends 125-byte packets.
+        // With quantum 125, flow 1 sends one packet per two rounds while
+        // flow 2 sends one per round: byte-fair.
+        let mut q = Drr::new(125, Limit::Packets(100));
+        for i in 0..4 {
+            q.enqueue(pkt(1, i, 250), SimTime::ZERO);
+        }
+        for i in 0..8 {
+            q.enqueue(pkt(2, 100 + i, 125), SimTime::ZERO);
+        }
+        let out = drain(&mut q);
+        let bytes_1: u64 = out.iter().filter(|p| p.flow.0 == 1).map(|p| p.size as u64).sum();
+        let bytes_2: u64 = out.iter().filter(|p| p.flow.0 == 2).map(|p| p.size as u64).sum();
+        assert_eq!(bytes_1, 1000);
+        assert_eq!(bytes_2, 1000);
+        // First 12 departures should be byte-balanced within one packet.
+        let first: Vec<_> = out.iter().take(9).collect();
+        let b1: i64 = first.iter().filter(|p| p.flow.0 == 1).map(|p| p.size as i64).sum();
+        let b2: i64 = first.iter().filter(|p| p.flow.0 == 2).map(|p| p.size as i64).sum();
+        assert!((b1 - b2).abs() <= 250, "b1={b1} b2={b2}");
+    }
+
+    #[test]
+    fn longest_queue_drop_on_overflow() {
+        let mut q = Drr::new(125, Limit::Packets(4));
+        q.enqueue(pkt(1, 0, 125), SimTime::ZERO);
+        q.enqueue(pkt(1, 1, 125), SimTime::ZERO);
+        q.enqueue(pkt(1, 2, 125), SimTime::ZERO);
+        q.enqueue(pkt(2, 3, 125), SimTime::ZERO);
+        // Buffer full. New packet from flow 2 evicts from flow 1 (longest).
+        let r = q.enqueue(pkt(2, 4, 125), SimTime::ZERO);
+        assert!(r.accepted);
+        assert_eq!(r.evicted.len(), 1);
+        assert_eq!(r.evicted[0].flow.0, 1);
+        assert_eq!(q.len_packets(), 4);
+    }
+
+    #[test]
+    fn empty_dequeue() {
+        let mut q = Drr::new(125, Limit::Packets(10));
+        assert!(matches!(q.dequeue(SimTime::ZERO), Dequeue::Empty));
+        q.enqueue(pkt(1, 0, 100), SimTime::ZERO);
+        drain(&mut q);
+        assert!(matches!(q.dequeue(SimTime::ZERO), Dequeue::Empty));
+        assert_eq!(q.len_bytes(), 0);
+    }
+
+    #[test]
+    fn three_flows_fair_shares() {
+        let mut q = Drr::new(500, Limit::Packets(1000));
+        for f in 1..=3u64 {
+            for i in 0..30 {
+                q.enqueue(pkt(f, f * 1000 + i, 125), SimTime::ZERO);
+            }
+        }
+        // After 45 departures every flow should have sent ~15 packets.
+        let mut counts = [0u32; 4];
+        for _ in 0..45 {
+            if let Dequeue::Packet(p) = q.dequeue(SimTime::ZERO) {
+                counts[p.flow.0 as usize] += 1;
+            }
+        }
+        for (f, &count) in counts.iter().enumerate().skip(1) {
+            assert!((count as i32 - 15).abs() <= 4, "flow {f} got {count}");
+        }
+    }
+}

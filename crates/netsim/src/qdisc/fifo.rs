@@ -1,0 +1,150 @@
+//! Drop-tail FIFO — the paper's default router queue (§3.1).
+
+use super::{Dequeue, Enqueued, Limit, Qdisc};
+use crate::packet::Packet;
+use simcore::SimTime;
+use std::collections::VecDeque;
+
+/// A single FIFO buffer with tail drop on overflow.
+#[derive(Debug)]
+pub struct DropTail {
+    queue: VecDeque<Packet>,
+    limit: Limit,
+    bytes: u64,
+}
+
+impl DropTail {
+    /// An empty buffer with the given capacity.
+    pub fn new(limit: Limit) -> Self {
+        DropTail {
+            queue: VecDeque::new(),
+            limit,
+            bytes: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn limit(&self) -> Limit {
+        self.limit
+    }
+
+    /// Peek at the head packet without removing it.
+    pub fn peek(&self) -> Option<&Packet> {
+        self.queue.front()
+    }
+
+    /// Remove the most recently enqueued packet (used by push-out schedulers).
+    pub fn pop_tail(&mut self) -> Option<Packet> {
+        let p = self.queue.pop_back()?;
+        self.bytes -= p.size as u64;
+        Some(p)
+    }
+
+    /// Would admitting a packet of `size` bytes overflow the buffer?
+    pub fn would_overflow(&self, size: u32) -> bool {
+        self.limit.would_overflow(self.queue.len(), self.bytes, size)
+    }
+
+    /// Enqueue without a capacity check (the caller has already made room —
+    /// used by shared-buffer schedulers).
+    pub fn force_enqueue(&mut self, pkt: Packet) {
+        self.bytes += pkt.size as u64;
+        self.queue.push_back(pkt);
+    }
+}
+
+impl Qdisc for DropTail {
+    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
+        if self.would_overflow(pkt.size) {
+            Enqueued::dropped()
+        } else {
+            self.force_enqueue(pkt);
+            Enqueued::ok()
+        }
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Dequeue {
+        match self.queue.pop_front() {
+            Some(p) => {
+                self.bytes -= p.size as u64;
+                Dequeue::Packet(p)
+            }
+            None => Dequeue::Empty,
+        }
+    }
+
+    fn len_packets(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId, TrafficClass};
+
+    fn pkt(id: u64, size: u32) -> Packet {
+        Packet::new(
+            id,
+            FlowId(0),
+            NodeId(0),
+            NodeId(1),
+            size,
+            TrafficClass::Data,
+            id,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DropTail::new(Limit::Packets(10));
+        for i in 0..5 {
+            assert!(q.enqueue(pkt(i, 100), SimTime::ZERO).accepted);
+        }
+        for i in 0..5 {
+            match q.dequeue(SimTime::ZERO) {
+                Dequeue::Packet(p) => assert_eq!(p.id, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(matches!(q.dequeue(SimTime::ZERO), Dequeue::Empty));
+    }
+
+    #[test]
+    fn packet_limit_tail_drops() {
+        let mut q = DropTail::new(Limit::Packets(2));
+        assert!(q.enqueue(pkt(0, 1), SimTime::ZERO).accepted);
+        assert!(q.enqueue(pkt(1, 1), SimTime::ZERO).accepted);
+        let r = q.enqueue(pkt(2, 1), SimTime::ZERO);
+        assert!(!r.accepted && r.evicted.is_empty());
+        assert_eq!(q.len_packets(), 2);
+    }
+
+    #[test]
+    fn byte_limit_and_accounting() {
+        let mut q = DropTail::new(Limit::Bytes(250));
+        assert!(q.enqueue(pkt(0, 125), SimTime::ZERO).accepted);
+        assert!(q.enqueue(pkt(1, 125), SimTime::ZERO).accepted);
+        assert!(!q.enqueue(pkt(2, 1), SimTime::ZERO).accepted);
+        assert_eq!(q.len_bytes(), 250);
+        q.dequeue(SimTime::ZERO);
+        assert_eq!(q.len_bytes(), 125);
+        assert!(q.enqueue(pkt(3, 125), SimTime::ZERO).accepted);
+    }
+
+    #[test]
+    fn pop_tail_removes_newest() {
+        let mut q = DropTail::new(Limit::Packets(10));
+        q.enqueue(pkt(0, 10), SimTime::ZERO);
+        q.enqueue(pkt(1, 20), SimTime::ZERO);
+        let p = q.pop_tail().unwrap();
+        assert_eq!(p.id, 1);
+        assert_eq!(q.len_bytes(), 10);
+        assert_eq!(q.peek().unwrap().id, 0);
+    }
+}

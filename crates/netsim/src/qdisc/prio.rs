@@ -1,0 +1,462 @@
+//! Strict-priority scheduling with shared buffers, probe push-out and
+//! aggregate rate limiting.
+//!
+//! This is the scheduler §2.1 argues endpoint admission control needs:
+//!
+//! - strict priority between bands (no borrowing between admission-
+//!   controlled and best-effort traffic);
+//! - an optional *shared buffer* across the admission-controlled bands in
+//!   which arriving data packets push out resident probe packets (§3.1);
+//! - an optional *aggregate rate limit* over the admission-controlled bands,
+//!   making the scheduler non-work-conserving for that group (§2.1.2): if
+//!   the group is over its share, the link serves lower bands (best effort)
+//!   or idles, never lets the group borrow.
+
+use super::{Dequeue, DropTail, Enqueued, Limit, Qdisc, TokenBucket};
+use crate::packet::{Packet, TrafficClass};
+use simcore::SimTime;
+
+/// Configuration of one priority band (index 0 = highest priority).
+#[derive(Clone, Copy, Debug)]
+pub struct Band {
+    /// Per-band capacity; `None` = bounded only by a shared buffer (or
+    /// unbounded if the band is in no shared group).
+    pub limit: Option<Limit>,
+}
+
+/// Shared buffer over a set of bands with optional push-out.
+#[derive(Clone, Debug)]
+struct SharedGroup {
+    bands: Vec<usize>,
+    limit: Limit,
+    /// When full, a packet arriving to a higher-priority band in the group
+    /// evicts packets from the tail of the lowest-priority non-empty band
+    /// in the group (the probe push-out of §3.1).
+    pushout: bool,
+}
+
+/// Aggregate token-bucket rate limit over a set of bands.
+#[derive(Clone, Debug)]
+struct RateGroup {
+    bands: Vec<usize>,
+    bucket: TokenBucket,
+}
+
+/// Strict-priority scheduler.
+pub struct StrictPrio {
+    bands: Vec<DropTail>,
+    band_limits: Vec<Option<Limit>>,
+    class_map: [usize; TrafficClass::COUNT],
+    shared: Option<SharedGroup>,
+    rate: Option<RateGroup>,
+}
+
+impl StrictPrio {
+    /// Build a scheduler with the given bands and class→band map.
+    ///
+    /// Panics if the map points at a nonexistent band.
+    pub fn new(bands: Vec<Band>, class_map: [usize; TrafficClass::COUNT]) -> Self {
+        assert!(!bands.is_empty());
+        for &b in &class_map {
+            assert!(b < bands.len(), "class mapped to nonexistent band {b}");
+        }
+        let band_limits: Vec<_> = bands.iter().map(|b| b.limit).collect();
+        StrictPrio {
+            bands: bands
+                .iter()
+                .map(|_| DropTail::new(Limit::Packets(usize::MAX)))
+                .collect(),
+            band_limits,
+            class_map,
+            shared: None,
+            rate: None,
+        }
+    }
+
+    /// Declare `bands` to share one buffer of capacity `limit`; with
+    /// `pushout`, arrivals to higher-priority bands evict from lower ones.
+    pub fn with_shared_buffer(mut self, bands: Vec<usize>, limit: Limit, pushout: bool) -> Self {
+        for &b in &bands {
+            assert!(b < self.bands.len());
+        }
+        self.shared = Some(SharedGroup {
+            bands,
+            limit,
+            pushout,
+        });
+        self
+    }
+
+    /// Impose an aggregate rate limit (bits/s) over `bands`, with a token
+    /// bucket depth of `burst_bytes`.
+    pub fn with_rate_limit(mut self, bands: Vec<usize>, rate_bps: u64, burst_bytes: f64) -> Self {
+        for &b in &bands {
+            assert!(b < self.bands.len());
+        }
+        self.rate = Some(RateGroup {
+            bands,
+            bucket: TokenBucket::new(rate_bps, burst_bytes),
+        });
+        self
+    }
+
+    /// The admission-controlled queue of the paper's prototype designs
+    /// (§3.1/§3.2): a control band above a data band, probes either sharing
+    /// the data band (in-band) or in their own lower band (out-of-band);
+    /// the data+probe bands share `buffer` with probe push-out.
+    ///
+    /// This models the paper's simulation simplification where the link
+    /// itself runs at the allocated share, so no rate limiter is attached.
+    pub fn admission_queue(buffer: Limit, out_of_band: bool) -> Self {
+        Self::admission_queue_opts(buffer, out_of_band, true)
+    }
+
+    /// [`StrictPrio::admission_queue`] with the probe push-out rule
+    /// switchable (for the push-out ablation bench).
+    pub fn admission_queue_opts(buffer: Limit, out_of_band: bool, pushout: bool) -> Self {
+        if out_of_band {
+            // bands: 0 = control, 1 = data, 2 = probe
+            StrictPrio::new(
+                vec![
+                    Band { limit: None },
+                    Band { limit: None },
+                    Band { limit: None },
+                ],
+                class_band_map(0, 1, 2, 2),
+            )
+            .with_shared_buffer(vec![1, 2], buffer, pushout)
+        } else {
+            // bands: 0 = control, 1 = data + probe
+            StrictPrio::new(
+                vec![Band { limit: None }, Band { limit: None }],
+                class_band_map(0, 1, 1, 1),
+            )
+            .with_shared_buffer(vec![1], buffer, false)
+        }
+    }
+
+    /// A full-link scheduler with best effort below the admission-controlled
+    /// group, and the admission-controlled group (data + probes) strictly
+    /// rate-limited to `share_bps` (§2.1.2). `ac_buffer` bounds the
+    /// admission-controlled buffer (with probe push-out when `out_of_band`),
+    /// `be_buffer` the best-effort buffer.
+    pub fn rate_limited_link(
+        share_bps: u64,
+        ac_buffer: Limit,
+        be_buffer: Limit,
+        out_of_band: bool,
+        mtu_bytes: f64,
+    ) -> Self {
+        if out_of_band {
+            // bands: 0 control, 1 data, 2 probe, 3 best-effort
+            StrictPrio::new(
+                vec![
+                    Band { limit: None },
+                    Band { limit: None },
+                    Band { limit: None },
+                    Band {
+                        limit: Some(be_buffer),
+                    },
+                ],
+                class_band_map(0, 1, 2, 3),
+            )
+            .with_shared_buffer(vec![1, 2], ac_buffer, true)
+            .with_rate_limit(vec![1, 2], share_bps, mtu_bytes)
+        } else {
+            // bands: 0 control, 1 data+probe, 2 best-effort
+            StrictPrio::new(
+                vec![
+                    Band { limit: None },
+                    Band { limit: None },
+                    Band {
+                        limit: Some(be_buffer),
+                    },
+                ],
+                class_band_map(0, 1, 1, 2),
+            )
+            .with_shared_buffer(vec![1], ac_buffer, false)
+            .with_rate_limit(vec![1], share_bps, mtu_bytes)
+        }
+    }
+
+    fn group_occupancy(&self, group: &SharedGroup) -> (usize, u64) {
+        let mut pkts = 0;
+        let mut bytes = 0;
+        for &b in &group.bands {
+            pkts += self.bands[b].len_packets();
+            bytes += self.bands[b].len_bytes();
+        }
+        (pkts, bytes)
+    }
+
+    /// Number of packets queued in `band` (for tests/inspection).
+    pub fn band_len(&self, band: usize) -> usize {
+        self.bands[band].len_packets()
+    }
+}
+
+/// Build a class→band array from per-class band indices.
+pub fn class_band_map(control: usize, data: usize, probe: usize, best_effort: usize) -> [usize; TrafficClass::COUNT] {
+    let mut m = [0; TrafficClass::COUNT];
+    m[TrafficClass::Control.index()] = control;
+    m[TrafficClass::Data.index()] = data;
+    m[TrafficClass::Probe.index()] = probe;
+    m[TrafficClass::BestEffort.index()] = best_effort;
+    m
+}
+
+impl Qdisc for StrictPrio {
+    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
+        let band = self.class_map[pkt.class.index()];
+
+        // Per-band limit first.
+        if let Some(limit) = self.band_limits[band] {
+            let q = &self.bands[band];
+            if limit.would_overflow(q.len_packets(), q.len_bytes(), pkt.size) {
+                return Enqueued::dropped();
+            }
+        }
+
+        // Shared-group limit with optional push-out. The group is taken out
+        // of `self` for the duration to split the borrow without cloning
+        // its band list on every enqueue (this is the per-packet hot path).
+        let mut evicted = Vec::new();
+        if let Some(group) = self.shared.take() {
+            let mut accepted = true;
+            if group.bands.contains(&band) {
+                let (mut pkts, mut bytes) = self.group_occupancy(&group);
+                while group.limit.would_overflow(pkts, bytes, pkt.size) {
+                    if !group.pushout {
+                        accepted = false;
+                        break;
+                    }
+                    // Evict from the lowest-priority non-empty band in the
+                    // group that is *strictly lower priority* than the
+                    // arriving packet's band.
+                    let victim_band = group
+                        .bands
+                        .iter()
+                        .copied()
+                        .filter(|&b| b > band && self.bands[b].len_packets() > 0)
+                        .max();
+                    match victim_band {
+                        Some(vb) => {
+                            let victim = self.bands[vb]
+                                .pop_tail()
+                                .expect("non-empty band had no tail");
+                            pkts -= 1;
+                            bytes -= victim.size as u64;
+                            evicted.push(victim);
+                        }
+                        None => {
+                            // Nothing evictable below us: tail drop. (Each
+                            // eviction frees at least one slot, so with
+                            // push-out this only triggers when no lower band
+                            // has packets.)
+                            accepted = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            self.shared = Some(group);
+            if !accepted {
+                return Enqueued {
+                    accepted: false,
+                    evicted,
+                };
+            }
+        }
+
+        self.bands[band].force_enqueue(pkt);
+        Enqueued {
+            accepted: true,
+            evicted,
+        }
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Dequeue {
+        let mut earliest: Option<SimTime> = None;
+        for b in 0..self.bands.len() {
+            if self.bands[b].is_empty() {
+                continue;
+            }
+            let restricted = self
+                .rate
+                .as_ref()
+                .map(|r| r.bands.contains(&b))
+                .unwrap_or(false);
+            if restricted {
+                let size = self.bands[b].peek().expect("non-empty").size;
+                let rate = self.rate.as_mut().expect("checked above");
+                let ready = rate.bucket.ready_at(size, now);
+                if ready <= now && rate.bucket.try_take(size, now) {
+                    return self.bands[b].dequeue(now);
+                }
+                let ready = ready.max(now + simcore::SimDuration::from_nanos(1));
+                earliest = Some(earliest.map_or(ready, |e| e.min(ready)));
+                // fall through to lower-priority (unrestricted) bands
+            } else {
+                return self.bands[b].dequeue(now);
+            }
+        }
+        match earliest {
+            Some(t) => Dequeue::NotBefore(t),
+            None => Dequeue::Empty,
+        }
+    }
+
+    fn len_packets(&self) -> usize {
+        self.bands.iter().map(|b| b.len_packets()).sum()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bands.iter().map(|b| b.len_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId};
+    use simcore::SimDuration;
+
+    fn pkt(id: u64, class: TrafficClass, size: u32) -> Packet {
+        Packet::new(
+            id,
+            FlowId(0),
+            NodeId(0),
+            NodeId(1),
+            size,
+            class,
+            id,
+            SimTime::ZERO,
+        )
+    }
+
+    fn deq(q: &mut StrictPrio, now: SimTime) -> Packet {
+        match q.dequeue(now) {
+            Dequeue::Packet(p) => p,
+            other => panic!("expected packet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_priority_order() {
+        let mut q = StrictPrio::admission_queue(Limit::Packets(100), true);
+        q.enqueue(pkt(0, TrafficClass::Probe, 125), SimTime::ZERO);
+        q.enqueue(pkt(1, TrafficClass::Data, 125), SimTime::ZERO);
+        q.enqueue(pkt(2, TrafficClass::Control, 40), SimTime::ZERO);
+        assert_eq!(deq(&mut q, SimTime::ZERO).class, TrafficClass::Control);
+        assert_eq!(deq(&mut q, SimTime::ZERO).class, TrafficClass::Data);
+        assert_eq!(deq(&mut q, SimTime::ZERO).class, TrafficClass::Probe);
+        assert!(matches!(q.dequeue(SimTime::ZERO), Dequeue::Empty));
+    }
+
+    #[test]
+    fn in_band_maps_probe_with_data_fifo() {
+        let mut q = StrictPrio::admission_queue(Limit::Packets(100), false);
+        q.enqueue(pkt(0, TrafficClass::Probe, 125), SimTime::ZERO);
+        q.enqueue(pkt(1, TrafficClass::Data, 125), SimTime::ZERO);
+        // In-band: probe and data share a band FIFO, so the probe leaves first.
+        assert_eq!(deq(&mut q, SimTime::ZERO).id, 0);
+        assert_eq!(deq(&mut q, SimTime::ZERO).id, 1);
+    }
+
+    #[test]
+    fn data_pushes_out_probe_when_shared_buffer_full() {
+        let mut q = StrictPrio::admission_queue(Limit::Packets(2), true);
+        assert!(q.enqueue(pkt(0, TrafficClass::Probe, 125), SimTime::ZERO).accepted);
+        assert!(q.enqueue(pkt(1, TrafficClass::Probe, 125), SimTime::ZERO).accepted);
+        let r = q.enqueue(pkt(2, TrafficClass::Data, 125), SimTime::ZERO);
+        assert!(r.accepted);
+        assert_eq!(r.evicted.len(), 1);
+        assert_eq!(r.evicted[0].id, 1, "evicts the newest resident probe");
+        assert_eq!(q.band_len(1), 1); // data band
+        assert_eq!(q.band_len(2), 1); // one probe left
+    }
+
+    #[test]
+    fn probe_cannot_push_out_data() {
+        let mut q = StrictPrio::admission_queue(Limit::Packets(2), true);
+        q.enqueue(pkt(0, TrafficClass::Data, 125), SimTime::ZERO);
+        q.enqueue(pkt(1, TrafficClass::Data, 125), SimTime::ZERO);
+        let r = q.enqueue(pkt(2, TrafficClass::Probe, 125), SimTime::ZERO);
+        assert!(!r.accepted);
+        assert!(r.evicted.is_empty());
+    }
+
+    #[test]
+    fn shared_buffer_counts_both_bands() {
+        let mut q = StrictPrio::admission_queue(Limit::Packets(3), true);
+        q.enqueue(pkt(0, TrafficClass::Data, 125), SimTime::ZERO);
+        q.enqueue(pkt(1, TrafficClass::Probe, 125), SimTime::ZERO);
+        q.enqueue(pkt(2, TrafficClass::Probe, 125), SimTime::ZERO);
+        // Full: another data packet must evict a probe, not be dropped.
+        let r = q.enqueue(pkt(3, TrafficClass::Data, 125), SimTime::ZERO);
+        assert!(r.accepted);
+        assert_eq!(r.evicted.len(), 1);
+        assert_eq!(q.len_packets(), 3);
+    }
+
+    #[test]
+    fn control_band_not_limited_by_shared_buffer() {
+        let mut q = StrictPrio::admission_queue(Limit::Packets(1), true);
+        q.enqueue(pkt(0, TrafficClass::Data, 125), SimTime::ZERO);
+        // Shared buffer full, but control rides its own band.
+        assert!(q.enqueue(pkt(1, TrafficClass::Control, 40), SimTime::ZERO).accepted);
+    }
+
+    #[test]
+    fn rate_limit_defers_group_but_not_best_effort() {
+        // 1 Mbps share, 125-byte packets -> 1 ms per packet of tokens.
+        let mut q = StrictPrio::rate_limited_link(
+            1_000_000,
+            Limit::Packets(100),
+            Limit::Packets(100),
+            false,
+            125.0,
+        );
+        let t0 = SimTime::ZERO;
+        q.enqueue(pkt(0, TrafficClass::Data, 125), t0);
+        q.enqueue(pkt(1, TrafficClass::Data, 125), t0);
+        q.enqueue(pkt(2, TrafficClass::BestEffort, 125), t0);
+        // First data packet consumes the full bucket (depth = 1 MTU).
+        assert_eq!(deq(&mut q, t0).id, 0);
+        // Second data packet is rate-blocked; best effort goes instead.
+        assert_eq!(deq(&mut q, t0).id, 2);
+        // Now only data remains and it is blocked: NotBefore ~1ms.
+        match q.dequeue(t0) {
+            Dequeue::NotBefore(t) => {
+                assert_eq!(t, t0 + SimDuration::from_millis(1));
+                assert_eq!(deq(&mut q, t).id, 1);
+            }
+            other => panic!("expected NotBefore, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_band_limit_drops() {
+        let mut q = StrictPrio::rate_limited_link(
+            1_000_000,
+            Limit::Packets(100),
+            Limit::Packets(1),
+            false,
+            125.0,
+        );
+        assert!(q.enqueue(pkt(0, TrafficClass::BestEffort, 125), SimTime::ZERO).accepted);
+        assert!(!q.enqueue(pkt(1, TrafficClass::BestEffort, 125), SimTime::ZERO).accepted);
+    }
+
+    #[test]
+    fn byte_limited_shared_buffer_pushout_frees_enough() {
+        let mut q = StrictPrio::admission_queue(Limit::Bytes(250), true);
+        q.enqueue(pkt(0, TrafficClass::Probe, 125), SimTime::ZERO);
+        q.enqueue(pkt(1, TrafficClass::Probe, 125), SimTime::ZERO);
+        // A 200-byte data packet needs to evict both 125-byte probes.
+        let r = q.enqueue(pkt(2, TrafficClass::Data, 200), SimTime::ZERO);
+        assert!(r.accepted);
+        assert_eq!(r.evicted.len(), 2);
+        assert_eq!(q.len_bytes(), 200);
+    }
+}

@@ -1,0 +1,277 @@
+//! Random Early Detection [Floyd & Jacobson 1993].
+//!
+//! The paper uses drop-tail for its experiments ("we used drop-tail for
+//! ease of simulation") but names RED as the alternative; we provide it so
+//! that the ablation benches can check the paper's claim that the choice
+//! does not affect the results. Supports drop or ECN-mark mode.
+
+use super::{Dequeue, Enqueued, Limit, Qdisc};
+use crate::packet::Packet;
+use simcore::{SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// What RED does to a packet it selects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RedMode {
+    /// Drop the packet.
+    Drop,
+    /// Set the ECN congestion-experienced mark and enqueue anyway.
+    Mark,
+}
+
+/// RED parameters (classic, non-gentle).
+#[derive(Clone, Copy, Debug)]
+pub struct RedParams {
+    /// Minimum average-queue threshold, packets.
+    pub min_th: f64,
+    /// Maximum average-queue threshold, packets.
+    pub max_th: f64,
+    /// Drop/mark probability at `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue estimate.
+    pub weight: f64,
+    /// Typical packet transmission time, used to age the average across
+    /// idle periods.
+    pub mean_pkt_time: simcore::SimDuration,
+}
+
+impl Default for RedParams {
+    fn default() -> Self {
+        RedParams {
+            min_th: 5.0,
+            max_th: 15.0,
+            max_p: 0.1,
+            weight: 0.002,
+            mean_pkt_time: simcore::SimDuration::from_micros(100),
+        }
+    }
+}
+
+/// A RED queue with a hard physical limit.
+pub struct Red {
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    limit: Limit,
+    params: RedParams,
+    mode: RedMode,
+    avg: f64,
+    /// Packets since the last drop/mark while in the "between thresholds"
+    /// region (the `count` of the RED paper, for uniformization).
+    count: i64,
+    idle_since: Option<SimTime>,
+    rng: SimRng,
+}
+
+impl Red {
+    /// A RED queue with physical capacity `limit`.
+    pub fn new(limit: Limit, params: RedParams, mode: RedMode, rng: SimRng) -> Self {
+        assert!(params.min_th < params.max_th);
+        assert!((0.0..=1.0).contains(&params.max_p));
+        assert!(params.weight > 0.0 && params.weight <= 1.0);
+        Red {
+            queue: VecDeque::new(),
+            bytes: 0,
+            limit,
+            params,
+            mode,
+            avg: 0.0,
+            count: -1,
+            idle_since: Some(SimTime::ZERO),
+            rng,
+        }
+    }
+
+    /// Current average-queue estimate (packets), for tests.
+    pub fn avg(&self) -> f64 {
+        self.avg
+    }
+
+    fn update_avg(&mut self, now: SimTime) {
+        if let Some(idle_start) = self.idle_since {
+            // Age the average across the idle period: pretend m small
+            // packets departed.
+            let idle = now.since(idle_start).as_secs_f64();
+            let m = (idle / self.params.mean_pkt_time.as_secs_f64()).floor();
+            self.avg *= (1.0 - self.params.weight).powf(m);
+            self.idle_since = None;
+        }
+        self.avg =
+            self.avg * (1.0 - self.params.weight) + self.queue.len() as f64 * self.params.weight;
+    }
+
+    /// Classic RED early-detection decision for an arriving packet.
+    fn early_action(&mut self) -> bool {
+        let p = &self.params;
+        if self.avg < p.min_th {
+            self.count = -1;
+            return false;
+        }
+        if self.avg >= p.max_th {
+            self.count = 0;
+            return true;
+        }
+        self.count += 1;
+        let pb = p.max_p * (self.avg - p.min_th) / (p.max_th - p.min_th);
+        let pa = if self.count as f64 * pb >= 1.0 {
+            1.0
+        } else {
+            pb / (1.0 - self.count as f64 * pb)
+        };
+        if self.rng.chance(pa) {
+            self.count = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Qdisc for Red {
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> Enqueued {
+        self.update_avg(now);
+
+        // Physical overflow always drops.
+        if self
+            .limit
+            .would_overflow(self.queue.len(), self.bytes, pkt.size)
+        {
+            self.count = 0;
+            return Enqueued::dropped();
+        }
+
+        if self.early_action() {
+            match self.mode {
+                RedMode::Drop => return Enqueued::dropped(),
+                RedMode::Mark => pkt.marked = true,
+            }
+        }
+        self.bytes += pkt.size as u64;
+        self.queue.push_back(pkt);
+        Enqueued::ok()
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Dequeue {
+        match self.queue.pop_front() {
+            Some(p) => {
+                self.bytes -= p.size as u64;
+                if self.queue.is_empty() {
+                    self.idle_since = Some(now);
+                }
+                Dequeue::Packet(p)
+            }
+            None => Dequeue::Empty,
+        }
+    }
+
+    fn len_packets(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId, TrafficClass};
+
+    fn pkt(id: u64) -> Packet {
+        Packet::new(
+            id,
+            FlowId(0),
+            NodeId(0),
+            NodeId(1),
+            125,
+            TrafficClass::Data,
+            id,
+            SimTime::ZERO,
+        )
+    }
+
+    fn red(mode: RedMode) -> Red {
+        Red::new(
+            Limit::Packets(1000),
+            RedParams {
+                min_th: 2.0,
+                max_th: 6.0,
+                max_p: 0.5,
+                weight: 0.5, // fast-moving average for testability
+                ..RedParams::default()
+            },
+            mode,
+            SimRng::new(1),
+        )
+    }
+
+    #[test]
+    fn below_min_th_never_drops() {
+        let mut q = red(RedMode::Drop);
+        // Keep queue at ~1 by dequeuing after each enqueue.
+        for i in 0..1000 {
+            assert!(q.enqueue(pkt(i), SimTime::ZERO).accepted);
+            q.dequeue(SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn sustained_overload_drops_probabilistically() {
+        let mut q = red(RedMode::Drop);
+        let mut dropped = 0;
+        for i in 0..500 {
+            if !q.enqueue(pkt(i), SimTime::ZERO).accepted {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 50, "dropped {dropped}");
+        assert!(dropped < 500);
+    }
+
+    #[test]
+    fn mark_mode_marks_instead_of_dropping() {
+        let mut q = red(RedMode::Mark);
+        let mut marked = 0;
+        let mut accepted = 0;
+        for i in 0..200 {
+            let r = q.enqueue(pkt(i), SimTime::ZERO);
+            if r.accepted {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 200, "mark mode only drops on physical overflow");
+        while let Dequeue::Packet(p) = q.dequeue(SimTime::ZERO) {
+            if p.marked {
+                marked += 1;
+            }
+        }
+        assert!(marked > 20, "marked {marked}");
+    }
+
+    #[test]
+    fn physical_limit_still_enforced_in_mark_mode() {
+        let mut q = Red::new(
+            Limit::Packets(3),
+            RedParams::default(),
+            RedMode::Mark,
+            SimRng::new(2),
+        );
+        for i in 0..3 {
+            assert!(q.enqueue(pkt(i), SimTime::ZERO).accepted);
+        }
+        assert!(!q.enqueue(pkt(3), SimTime::ZERO).accepted);
+    }
+
+    #[test]
+    fn idle_period_decays_average() {
+        let mut q = red(RedMode::Drop);
+        for i in 0..10 {
+            q.enqueue(pkt(i), SimTime::ZERO);
+        }
+        let hot = q.avg();
+        while let Dequeue::Packet(_) = q.dequeue(SimTime::from_secs(1)) {}
+        // Arrive after a long idle gap: the average should have decayed.
+        q.enqueue(pkt(100), SimTime::from_secs(10));
+        assert!(q.avg() < hot * 0.1, "avg {} vs hot {hot}", q.avg());
+    }
+}

@@ -1,0 +1,192 @@
+//! Virtual-queue ECN marking (§3.1).
+//!
+//! "For the marking algorithm we use a virtual queue ... The router
+//! simulates the behavior of a queue with 90% of the real bandwidth (but
+//! same size buffer) and marks packets that would have been dropped in the
+//! virtual queue. This can be implemented efficiently, as it only requires
+//! one counter for each priority level."
+//!
+//! [`VirtualQueue`] is a *marker stage* attached to a link: every arriving
+//! admission-controlled packet passes through it before the real qdisc.
+//! Internally it simulates a strict-priority fluid queue running at
+//! `factor × bandwidth` with the real buffer size: per-band byte backlogs
+//! drain highest-priority-first, and an arriving packet is marked if the
+//! virtual system has no room for it.
+
+use crate::packet::{Packet, TrafficClass};
+use simcore::SimTime;
+
+/// Number of virtual bands (data above probe; control and best-effort
+/// traffic bypass the marker).
+const BANDS: usize = 2;
+
+/// A per-link virtual queue marker.
+#[derive(Clone, Debug)]
+pub struct VirtualQueue {
+    /// Virtual service rate, bytes/second.
+    rate_bytes_per_sec: f64,
+    /// Virtual buffer, bytes (same size as the real buffer per the paper).
+    capacity_bytes: f64,
+    /// Per-band virtual backlogs, bytes. Band 0 = data, band 1 = probe.
+    backlog: [f64; BANDS],
+    last: SimTime,
+}
+
+impl VirtualQueue {
+    /// A virtual queue running at `factor` of `link_bps` with the given
+    /// buffer size. The paper uses `factor = 0.9`.
+    pub fn new(link_bps: u64, factor: f64, capacity_bytes: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0);
+        assert!(capacity_bytes > 0.0);
+        VirtualQueue {
+            rate_bytes_per_sec: link_bps as f64 * factor / 8.0,
+            capacity_bytes,
+            backlog: [0.0; BANDS],
+            last: SimTime::ZERO,
+        }
+    }
+
+    fn band_of(class: TrafficClass) -> Option<usize> {
+        match class {
+            TrafficClass::Data => Some(0),
+            TrafficClass::Probe => Some(1),
+            TrafficClass::Control | TrafficClass::BestEffort => None,
+        }
+    }
+
+    fn drain(&mut self, now: SimTime) {
+        let mut budget = now.since(self.last).as_secs_f64() * self.rate_bytes_per_sec;
+        self.last = now;
+        // Strict priority: drain band 0 first.
+        for b in &mut self.backlog {
+            let served = budget.min(*b);
+            *b -= served;
+            budget -= served;
+            if budget <= 0.0 {
+                break;
+            }
+        }
+    }
+
+    /// Pass `pkt` through the marker: sets `pkt.marked` if the virtual
+    /// queue would have dropped it. Non-admission-controlled classes pass
+    /// through untouched and unaccounted.
+    pub fn process(&mut self, pkt: &mut Packet, now: SimTime) {
+        let Some(band) = Self::band_of(pkt.class) else {
+            return;
+        };
+        self.drain(now);
+        let total: f64 = self.backlog.iter().sum();
+        if total + pkt.size as f64 > self.capacity_bytes {
+            pkt.marked = true;
+            // A dropped packet does not occupy the virtual buffer.
+        } else {
+            self.backlog[band] += pkt.size as f64;
+        }
+    }
+
+    /// Total virtual backlog in bytes (for tests).
+    pub fn backlog_bytes(&self) -> f64 {
+        self.backlog.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId};
+    use simcore::SimDuration;
+
+    fn pkt(class: TrafficClass) -> Packet {
+        Packet::new(
+            0,
+            FlowId(0),
+            NodeId(0),
+            NodeId(1),
+            125,
+            class,
+            0,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn no_marking_under_light_load() {
+        // 10 Mbps link, VQ at 9 Mbps = 1.125e6 B/s. One packet per ms is
+        // 125 kB/s — far below the virtual rate.
+        let mut vq = VirtualQueue::new(10_000_000, 0.9, 200.0 * 125.0);
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            let mut p = pkt(TrafficClass::Data);
+            vq.process(&mut p, t);
+            assert!(!p.marked);
+            t += SimDuration::from_millis(1);
+        }
+        assert!(vq.backlog_bytes() < 126.0);
+    }
+
+    #[test]
+    fn marks_before_real_queue_would_drop() {
+        // Offered load exactly at link rate: the real queue (at C) holds,
+        // but the virtual queue (at 0.9 C) backs up and must mark.
+        let mut vq = VirtualQueue::new(10_000_000, 0.9, 50.0 * 125.0);
+        let mut t = SimTime::ZERO;
+        let mut marks = 0;
+        // 10 Mbps of 125-byte packets = one per 100 us.
+        for _ in 0..10_000 {
+            let mut p = pkt(TrafficClass::Data);
+            vq.process(&mut p, t);
+            if p.marked {
+                marks += 1;
+            }
+            t += SimDuration::from_micros(100);
+        }
+        // Long-run mark fraction approaches the virtual overload 0.1/1.0.
+        let frac = marks as f64 / 10_000.0;
+        assert!((frac - 0.1).abs() < 0.02, "mark fraction {frac}");
+    }
+
+    #[test]
+    fn control_and_best_effort_bypass() {
+        let mut vq = VirtualQueue::new(1_000, 0.9, 10.0);
+        let mut p = pkt(TrafficClass::BestEffort);
+        p.size = 1_000_000;
+        vq.process(&mut p, SimTime::ZERO);
+        assert!(!p.marked);
+        assert_eq!(vq.backlog_bytes(), 0.0);
+        let mut c = pkt(TrafficClass::Control);
+        vq.process(&mut c, SimTime::ZERO);
+        assert!(!c.marked);
+    }
+
+    #[test]
+    fn idle_period_drains_backlog() {
+        let mut vq = VirtualQueue::new(10_000_000, 0.9, 200.0 * 125.0);
+        // Burst 100 packets at t=0.
+        for _ in 0..100 {
+            let mut p = pkt(TrafficClass::Data);
+            vq.process(&mut p, SimTime::ZERO);
+        }
+        assert!(vq.backlog_bytes() > 0.0);
+        let mut p = pkt(TrafficClass::Data);
+        vq.process(&mut p, SimTime::from_secs(1));
+        assert!(!p.marked);
+        assert!((vq.backlog_bytes() - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probe_band_drains_after_data() {
+        let mut vq = VirtualQueue::new(8_000, 1.0, 1e9); // 1000 B/s virtual
+        let mut d = pkt(TrafficClass::Data);
+        d.size = 1000;
+        let mut pr = pkt(TrafficClass::Probe);
+        pr.size = 1000;
+        vq.process(&mut d, SimTime::ZERO);
+        vq.process(&mut pr, SimTime::ZERO);
+        // After 1 s, exactly the data backlog has drained.
+        let mut probe2 = pkt(TrafficClass::Probe);
+        probe2.size = 125;
+        vq.process(&mut probe2, SimTime::from_secs(1));
+        assert!((vq.backlog_bytes() - 1125.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,431 @@
+//! The simulation driver: events, agents, and the run loop.
+//!
+//! Endpoints (traffic sources, probing hosts, sinks, TCP stacks, meters)
+//! are [`Agent`]s attached to nodes, in the style of ns-2. The driver pops
+//! events from the calendar and dispatches:
+//!
+//! - link events to the [`Network`](crate::Network);
+//! - packet deliveries to the destination node's agent (packets arriving at
+//!   intermediate nodes are forwarded automatically, so routers need no
+//!   agent);
+//! - timers to the owning node's agent.
+
+use crate::packet::{LinkId, NodeId, Packet};
+use crate::topo::Network;
+use simcore::{EventQueue, SimDuration, SimTime};
+use std::any::Any;
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Event {
+    /// A link finished serialising its in-flight packet.
+    TxComplete { link: LinkId },
+    /// A rate-limited link should retry dequeueing.
+    TryDequeue { link: LinkId },
+    /// A packet arrives at `node` after propagation.
+    Deliver { node: NodeId, packet: Packet },
+    /// An agent timer fires. `kind` and `data` are agent-defined.
+    Timer { node: NodeId, kind: u32, data: u64 },
+}
+
+/// The toolbox handed to an agent callback.
+///
+/// Through it the agent reads the clock, sends packets (which enter the
+/// network at the agent's node), arms timers, and can reach the network
+/// for measurement (e.g. MBAC load meters reading link stats).
+pub struct Api<'a> {
+    /// The node this agent sits on.
+    pub node: NodeId,
+    /// The network (routing, links, stats).
+    pub net: &'a mut Network,
+    queue: &'a mut EventQueue<Event>,
+}
+
+impl<'a> Api<'a> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Send a packet into the network from this node.
+    #[inline]
+    pub fn send(&mut self, pkt: Packet) {
+        self.net.inject(pkt, self.node, self.queue);
+    }
+
+    /// Arm a timer for this node at absolute time `at`.
+    pub fn timer_at(&mut self, at: SimTime, kind: u32, data: u64) {
+        let node = self.node;
+        self.queue.schedule_at(at, Event::Timer { node, kind, data });
+    }
+
+    /// Arm a timer `delay` from now.
+    pub fn timer_in(&mut self, delay: SimDuration, kind: u32, data: u64) {
+        self.timer_at(self.now() + delay, kind, data);
+    }
+}
+
+/// A node-resident endpoint.
+///
+/// `as_any` enables downcasting after a run to pull results out of concrete
+/// agent types (`Sim::agent`), and must be implemented as `self`.
+pub trait Agent: Send {
+    /// Called once when the simulation starts (arm initial timers here).
+    fn on_start(&mut self, _api: &mut Api) {}
+
+    /// A packet addressed to this node arrived.
+    fn on_packet(&mut self, pkt: Packet, api: &mut Api);
+
+    /// A timer armed by this agent fired.
+    fn on_timer(&mut self, _kind: u32, _data: u64, _api: &mut Api) {}
+
+    /// Downcast support: `fn as_any(&mut self) -> &mut dyn Any { self }`.
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+/// A complete simulation: network + agents + event calendar.
+pub struct Sim {
+    /// The network substrate.
+    pub net: Network,
+    /// The event calendar.
+    pub queue: EventQueue<Event>,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    started: bool,
+}
+
+impl Sim {
+    /// Wrap a built network. Routes are computed here if still dirty.
+    pub fn new(mut net: Network) -> Self {
+        net.compute_routes();
+        let n = net.num_nodes();
+        Sim {
+            net,
+            queue: EventQueue::new(),
+            agents: (0..n).map(|_| None).collect(),
+            started: false,
+        }
+    }
+
+    /// Attach an agent to a node (replacing any previous one).
+    pub fn attach(&mut self, node: NodeId, agent: Box<dyn Agent>) {
+        self.agents[node.0 as usize] = Some(agent);
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Borrow an attached agent as its concrete type.
+    pub fn agent<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.agents[node.0 as usize]
+            .as_mut()?
+            .as_any()
+            .downcast_mut::<T>()
+    }
+
+    fn dispatch_start(&mut self) {
+        for i in 0..self.agents.len() {
+            if let Some(mut agent) = self.agents[i].take() {
+                let mut api = Api {
+                    node: NodeId(i as u32),
+                    net: &mut self.net,
+                    queue: &mut self.queue,
+                };
+                agent.on_start(&mut api);
+                self.agents[i] = Some(agent);
+            }
+        }
+        self.started = true;
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::TxComplete { link } => self.net.tx_complete(link, &mut self.queue),
+            Event::TryDequeue { link } => self.net.try_dequeue(link, &mut self.queue),
+            Event::Deliver { node, packet } => {
+                if node != packet.dst {
+                    // Transit node: forward.
+                    self.net.inject(packet, node, &mut self.queue);
+                    return;
+                }
+                if let Some(t) = self.net.tracer.as_mut() {
+                    t.record(
+                        self.queue.now(),
+                        crate::trace::TraceKind::Deliver,
+                        None,
+                        &packet,
+                    );
+                }
+                let idx = node.0 as usize;
+                match self.agents[idx].take() {
+                    Some(mut agent) => {
+                        let mut api = Api {
+                            node,
+                            net: &mut self.net,
+                            queue: &mut self.queue,
+                        };
+                        agent.on_packet(packet, &mut api);
+                        self.agents[idx] = Some(agent);
+                    }
+                    None => self.net.orphan_packets += 1,
+                }
+            }
+            Event::Timer { node, kind, data } => {
+                let idx = node.0 as usize;
+                let mut agent = self.agents[idx]
+                    .take()
+                    .unwrap_or_else(|| panic!("timer for {node} which has no agent"));
+                let mut api = Api {
+                    node,
+                    net: &mut self.net,
+                    queue: &mut self.queue,
+                };
+                agent.on_timer(kind, data, &mut api);
+                self.agents[idx] = Some(agent);
+            }
+        }
+    }
+
+    /// Run until the calendar is empty or the next event is after `until`.
+    /// Events exactly at `until` are processed.
+    pub fn run_until(&mut self, until: SimTime) {
+        if !self.started {
+            self.dispatch_start();
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked");
+            self.handle(ev);
+        }
+    }
+
+    /// Run until no events remain.
+    pub fn run_to_completion(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, TrafficClass};
+    use crate::qdisc::{DropTail, Limit, Qdisc};
+    use std::any::Any;
+
+    /// Sends `n` packets, one per ms, to a peer.
+    struct Blaster {
+        peer: NodeId,
+        n: u64,
+        sent: u64,
+    }
+    impl Agent for Blaster {
+        fn on_start(&mut self, api: &mut Api) {
+            api.timer_in(SimDuration::ZERO, 0, 0);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _api: &mut Api) {}
+        fn on_timer(&mut self, _k: u32, _d: u64, api: &mut Api) {
+            if self.sent < self.n {
+                let pkt = Packet::new(
+                    self.sent,
+                    FlowId(1),
+                    api.node,
+                    self.peer,
+                    125,
+                    TrafficClass::Data,
+                    self.sent,
+                    api.now(),
+                );
+                api.send(pkt);
+                self.sent += 1;
+                api.timer_in(SimDuration::from_millis(1), 0, 0);
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Counts received packets and checks sequence order.
+    struct Sink {
+        received: u64,
+        last_seq: Option<u64>,
+        in_order: bool,
+    }
+    impl Agent for Sink {
+        fn on_packet(&mut self, pkt: Packet, _api: &mut Api) {
+            if let Some(last) = self.last_seq {
+                if pkt.seq <= last {
+                    self.in_order = false;
+                }
+            }
+            self.last_seq = Some(pkt.seq);
+            self.received += 1;
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn dt() -> Box<dyn Qdisc> {
+        Box::new(DropTail::new(Limit::Packets(1000)))
+    }
+
+    #[test]
+    fn end_to_end_delivery() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_link(a, b, 10_000_000, SimDuration::from_millis(20), dt(), None);
+        let mut sim = Sim::new(net);
+        sim.attach(a, Box::new(Blaster { peer: b, n: 100, sent: 0 }));
+        sim.attach(
+            b,
+            Box::new(Sink {
+                received: 0,
+                last_seq: None,
+                in_order: true,
+            }),
+        );
+        sim.run_to_completion();
+        let sink = sim.agent::<Sink>(b).unwrap();
+        assert_eq!(sink.received, 100);
+        assert!(sink.in_order);
+        assert_eq!(sim.net.orphan_packets, 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_link(a, b, 10_000_000, SimDuration::ZERO, dt(), None);
+        let mut sim = Sim::new(net);
+        sim.attach(a, Box::new(Blaster { peer: b, n: 1000, sent: 0 }));
+        sim.attach(
+            b,
+            Box::new(Sink {
+                received: 0,
+                last_seq: None,
+                in_order: true,
+            }),
+        );
+        // 1000 packets at 1/ms take ~1 s; stop after 100 ms.
+        sim.run_until(SimTime::from_secs_f64(0.1));
+        let got = sim.agent::<Sink>(b).unwrap().received;
+        assert!((99..=102).contains(&got), "got {got}");
+    }
+
+    #[test]
+    fn orphan_packets_counted() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_link(a, b, 10_000_000, SimDuration::ZERO, dt(), None);
+        let mut sim = Sim::new(net);
+        sim.attach(a, Box::new(Blaster { peer: b, n: 5, sent: 0 }));
+        // No agent at b.
+        sim.run_to_completion();
+        assert_eq!(sim.net.orphan_packets, 5);
+    }
+
+    #[test]
+    fn deterministic_event_counts() {
+        let run = || {
+            let mut net = Network::new();
+            let a = net.add_node();
+            let b = net.add_node();
+            net.add_link(a, b, 1_000_000, SimDuration::from_millis(5), dt(), None);
+            let mut sim = Sim::new(net);
+            sim.attach(a, Box::new(Blaster { peer: b, n: 500, sent: 0 }));
+            sim.attach(
+                b,
+                Box::new(Sink {
+                    received: 0,
+                    last_seq: None,
+                    in_order: true,
+                }),
+            );
+            sim.run_to_completion();
+            (sim.queue.events_fired(), sim.now())
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::packet::{FlowId, TrafficClass};
+    use crate::qdisc::{DropTail, Limit};
+    use crate::trace::{TraceKind, Tracer};
+    use std::any::Any;
+
+    struct OneShot {
+        peer: NodeId,
+    }
+    impl Agent for OneShot {
+        fn on_start(&mut self, api: &mut Api) {
+            api.timer_in(SimDuration::ZERO, 0, 0);
+        }
+        fn on_packet(&mut self, _p: Packet, _api: &mut Api) {}
+        fn on_timer(&mut self, _k: u32, _d: u64, api: &mut Api) {
+            let p = Packet::new(
+                0,
+                FlowId(5),
+                api.node,
+                self.peer,
+                125,
+                TrafficClass::Data,
+                0,
+                api.now(),
+            );
+            api.send(p);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    struct Sink;
+    impl Agent for Sink {
+        fn on_packet(&mut self, _p: Packet, _api: &mut Api) {}
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn tracer_sees_full_packet_lifecycle() {
+        let mut net = crate::Network::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_link(
+            a,
+            b,
+            10_000_000,
+            SimDuration::from_millis(1),
+            Box::new(DropTail::new(Limit::Packets(10))),
+            None,
+        );
+        net.tracer = Some(Tracer::new(100));
+        let mut sim = Sim::new(net);
+        sim.attach(a, Box::new(OneShot { peer: b }));
+        sim.attach(b, Box::new(Sink));
+        sim.run_to_completion();
+        let t = sim.net.tracer.as_ref().unwrap();
+        assert_eq!(t.count(TraceKind::Enqueue), 1);
+        assert_eq!(t.count(TraceKind::Transmit), 1);
+        assert_eq!(t.count(TraceKind::Deliver), 1);
+        assert_eq!(t.count(TraceKind::Drop), 0);
+        // Lifecycle ordering: enqueue before transmit before deliver.
+        let kinds: Vec<TraceKind> = t.records().iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![TraceKind::Enqueue, TraceKind::Transmit, TraceKind::Deliver]
+        );
+        assert!(t.records().iter().all(|r| r.flow == 5));
+    }
+}

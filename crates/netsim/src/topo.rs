@@ -1,0 +1,331 @@
+//! Topology and routing.
+//!
+//! A [`Network`] is a set of nodes connected by unidirectional [`Link`]s
+//! with static minimum-hop routing (BFS per destination). Routes are
+//! computed lazily and cached; adding a link invalidates the cache.
+
+use crate::link::{Link, LinkAction};
+use crate::packet::{LinkId, NodeId, Packet};
+use crate::qdisc::{Qdisc, VirtualQueue};
+use crate::sim::Event;
+use simcore::{EventQueue, SimDuration};
+use std::collections::VecDeque;
+
+/// The network: nodes, links, routes.
+pub struct Network {
+    num_nodes: usize,
+    links: Vec<Link>,
+    /// `next_hop[src][dst]` = link to take; `None` if unreachable.
+    next_hop: Vec<Vec<Option<LinkId>>>,
+    routes_dirty: bool,
+    /// Packets delivered to a node with no agent expecting them.
+    pub orphan_packets: u64,
+    /// Optional packet-event tracer (see [`crate::trace`]).
+    pub tracer: Option<crate::trace::Tracer>,
+    /// Shared state reachable from every agent through [`crate::Api`]
+    /// (e.g. a router-based admission-control registry). Agents `take()`
+    /// it, use it, and put it back — the run loop is single-threaded so
+    /// this is race-free.
+    pub blackboard: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network {
+            num_nodes: 0,
+            links: Vec::new(),
+            next_hop: Vec::new(),
+            routes_dirty: false,
+            orphan_packets: 0,
+            blackboard: None,
+            tracer: None,
+        }
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.num_nodes as u32);
+        self.num_nodes += 1;
+        self.routes_dirty = true;
+        id
+    }
+
+    /// Add `n` nodes, returning their ids.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Add a unidirectional link.
+    pub fn add_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bandwidth_bps: u64,
+        prop_delay: SimDuration,
+        qdisc: Box<dyn Qdisc>,
+        marker: Option<VirtualQueue>,
+    ) -> LinkId {
+        assert!((from.0 as usize) < self.num_nodes && (to.0 as usize) < self.num_nodes);
+        assert_ne!(from, to, "self-loop link");
+        let id = LinkId(self.links.len() as u32);
+        self.links
+            .push(Link::new(id, from, to, bandwidth_bps, prop_delay, qdisc, marker));
+        self.routes_dirty = true;
+        id
+    }
+
+    /// Borrow a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Mutably borrow a link.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0 as usize]
+    }
+
+    /// All links (for stats sweeps).
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Mutable access to all links (warm-up resets).
+    pub fn links_mut(&mut self) -> &mut [Link] {
+        &mut self.links
+    }
+
+    /// Recompute minimum-hop routes (BFS from every node over out-links).
+    pub fn compute_routes(&mut self) {
+        let n = self.num_nodes;
+        // For each destination, BFS on the reversed graph to get next hops.
+        let mut rev: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+        for l in &self.links {
+            rev[l.to.0 as usize].push(l.id);
+        }
+        self.next_hop = vec![vec![None; n]; n];
+        for dst in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(dst);
+            while let Some(v) = q.pop_front() {
+                for &lid in &rev[v] {
+                    let u = self.links[lid.0 as usize].from.0 as usize;
+                    if dist[u] == usize::MAX {
+                        dist[u] = dist[v] + 1;
+                        self.next_hop[u][dst] = Some(lid);
+                        q.push_back(u);
+                    }
+                }
+            }
+        }
+        self.routes_dirty = false;
+    }
+
+    /// The next-hop link from `at` toward `dst` (None if unreachable).
+    /// Requires routes to be computed.
+    pub fn route(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
+        assert!(!self.routes_dirty, "routes are stale; call compute_routes()");
+        self.next_hop[at.0 as usize][dst.0 as usize]
+    }
+
+    /// Hop count from `at` to `dst` (None if unreachable), following routes.
+    pub fn hops(&self, at: NodeId, dst: NodeId) -> Option<usize> {
+        let mut here = at;
+        let mut hops = 0;
+        while here != dst {
+            let lid = self.route(here, dst)?;
+            here = self.link(lid).to;
+            hops += 1;
+            assert!(hops <= self.num_nodes, "routing loop");
+        }
+        Some(hops)
+    }
+
+    fn apply(&mut self, lid: LinkId, action: LinkAction, q: &mut EventQueue<Event>) {
+        match action {
+            LinkAction::None => {}
+            LinkAction::TxCompleteAt(t) => q.schedule_at(t, Event::TxComplete { link: lid }),
+            LinkAction::WakeupAt(t) => q.schedule_at(t, Event::TryDequeue { link: lid }),
+        }
+    }
+
+    /// Inject `pkt` at `node`: route it onto the next-hop link (or deliver
+    /// immediately if already at the destination).
+    pub fn inject(&mut self, pkt: Packet, node: NodeId, q: &mut EventQueue<Event>) {
+        if node == pkt.dst {
+            q.schedule_in(
+                SimDuration::ZERO,
+                Event::Deliver {
+                    node,
+                    packet: pkt,
+                },
+            );
+            return;
+        }
+        if self.routes_dirty {
+            self.compute_routes();
+        }
+        let lid = self
+            .route(node, pkt.dst)
+            .unwrap_or_else(|| panic!("no route {node}->{} for {}", pkt.dst, pkt.flow));
+        let now = q.now();
+        let link = &mut self.links[lid.0 as usize];
+        link.receive(pkt, now, &mut self.tracer);
+        let action = link.try_start(now);
+        self.apply(lid, action, q);
+    }
+
+    /// Handle a `TxComplete` event: propagate the packet and restart the link.
+    pub fn tx_complete(&mut self, lid: LinkId, q: &mut EventQueue<Event>) {
+        let now = q.now();
+        let link = &mut self.links[lid.0 as usize];
+        let pkt = link.tx_complete(now, &mut self.tracer);
+        let to = link.to;
+        let delay = link.prop_delay;
+        q.schedule_in(
+            delay,
+            Event::Deliver {
+                node: to,
+                packet: pkt,
+            },
+        );
+        let action = link.try_start(now);
+        self.apply(lid, action, q);
+    }
+
+    /// Handle a `TryDequeue` wake-up on a rate-limited link.
+    pub fn try_dequeue(&mut self, lid: LinkId, q: &mut EventQueue<Event>) {
+        let now = q.now();
+        let action = self.links[lid.0 as usize].wakeup(now);
+        self.apply(lid, action, q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, TrafficClass};
+    use crate::qdisc::{DropTail, Limit};
+    use simcore::SimTime;
+
+    fn dt() -> Box<dyn Qdisc> {
+        Box::new(DropTail::new(Limit::Packets(100)))
+    }
+
+    fn line3() -> Network {
+        // n0 -> n1 -> n2 and back
+        let mut net = Network::new();
+        let ns = net.add_nodes(3);
+        for w in ns.windows(2) {
+            net.add_link(w[0], w[1], 1_000_000, SimDuration::from_millis(1), dt(), None);
+            net.add_link(w[1], w[0], 1_000_000, SimDuration::from_millis(1), dt(), None);
+        }
+        net.compute_routes();
+        net
+    }
+
+    #[test]
+    fn routes_follow_min_hops() {
+        let net = line3();
+        assert_eq!(net.hops(NodeId(0), NodeId(2)), Some(2));
+        assert_eq!(net.hops(NodeId(2), NodeId(0)), Some(2));
+        assert_eq!(net.hops(NodeId(1), NodeId(1)), Some(0));
+        let l = net.route(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(net.link(l).to, NodeId(1));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut net = Network::new();
+        net.add_nodes(2);
+        net.compute_routes();
+        assert_eq!(net.route(NodeId(0), NodeId(1)), None);
+        assert_eq!(net.hops(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn packet_crosses_two_hops() {
+        let mut net = line3();
+        let mut q: EventQueue<Event> = EventQueue::new();
+        let pkt = Packet::new(
+            0,
+            FlowId(1),
+            NodeId(0),
+            NodeId(2),
+            125,
+            TrafficClass::Data,
+            0,
+            SimTime::ZERO,
+        );
+        net.inject(pkt, NodeId(0), &mut q);
+        // Drive events until the Deliver at n2 appears.
+        let mut delivered_at = None;
+        while let Some((t, ev)) = q.pop() {
+            match ev {
+                Event::TxComplete { link } => net.tx_complete(link, &mut q),
+                Event::TryDequeue { link } => net.try_dequeue(link, &mut q),
+                Event::Deliver { node, packet } => {
+                    if node == packet.dst {
+                        delivered_at = Some(t);
+                    } else {
+                        net.inject(packet, node, &mut q);
+                    }
+                }
+                Event::Timer { .. } => unreachable!(),
+            }
+        }
+        // Two transmissions (1 ms each for 125 B at 1 Mbps) + two props (1 ms).
+        let expected = SimTime::from_secs_f64(0.001 + 0.001 + 0.001 + 0.001);
+        assert_eq!(delivered_at, Some(expected));
+        assert_eq!(
+            net.link(LinkId(0)).stats.class(TrafficClass::Data).transmitted.total(),
+            1
+        );
+        assert_eq!(
+            net.link(LinkId(2)).stats.class(TrafficClass::Data).transmitted.total(),
+            1
+        );
+    }
+
+    #[test]
+    fn inject_at_destination_delivers_locally() {
+        let mut net = line3();
+        let mut q: EventQueue<Event> = EventQueue::new();
+        let pkt = Packet::new(
+            0,
+            FlowId(1),
+            NodeId(1),
+            NodeId(1),
+            1,
+            TrafficClass::Control,
+            0,
+            SimTime::ZERO,
+        );
+        net.inject(pkt, NodeId(1), &mut q);
+        match q.pop() {
+            Some((_, Event::Deliver { node, packet })) => {
+                assert_eq!(node, NodeId(1));
+                assert_eq!(packet.dst, NodeId(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Packet-event tracing (ns-2-style trace files).
+//!
+//! A [`Tracer`] records per-packet events — enqueue, drop, eviction,
+//! transmit, delivery — with timestamps, for debugging and for offline
+//! analysis of queue dynamics. Tracing is opt-in per simulation
+//! (`sim.net.tracer = Some(Tracer::new(cap))`) and costs nothing when
+//! disabled.
+//!
+//! The format is deliberately close to ns-2's trace lines so existing
+//! analysis habits transfer: one record per event with time, event kind,
+//! link, flow, class, sequence number, and size.
+
+use crate::packet::{LinkId, Packet, TrafficClass};
+use simcore::SimTime;
+use std::fmt;
+
+/// What happened to a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Accepted into a link's queue.
+    Enqueue,
+    /// Rejected at a link's queue (tail/RED drop).
+    Drop,
+    /// Evicted from a queue by probe push-out.
+    Evict,
+    /// Transmitted onto the wire.
+    Transmit,
+    /// Delivered to the destination agent.
+    Deliver,
+}
+
+impl TraceKind {
+    /// ns-2-style single-character code.
+    pub fn code(self) -> char {
+        match self {
+            TraceKind::Enqueue => '+',
+            TraceKind::Drop => 'd',
+            TraceKind::Evict => 'e',
+            TraceKind::Transmit => '-',
+            TraceKind::Deliver => 'r',
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// Event time.
+    pub at: SimTime,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Link involved (None for deliveries).
+    pub link: Option<LinkId>,
+    /// Flow id.
+    pub flow: u64,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Per-flow sequence number.
+    pub seq: u64,
+    /// Packet size, bytes.
+    pub size: u32,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let link = self
+            .link
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "-".into());
+        write!(
+            f,
+            "{} {:.9} {} f{} {:?} s{} {}B",
+            self.kind.code(),
+            self.at.as_secs_f64(),
+            link,
+            self.flow,
+            self.class,
+            self.seq,
+            self.size
+        )
+    }
+}
+
+/// An event recorder with an optional class filter and a hard capacity
+/// (oldest records are NOT overwritten — recording stops at capacity and
+/// `truncated()` reports it, which keeps memory bounded and semantics
+/// obvious).
+#[derive(Debug)]
+pub struct Tracer {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    /// Record only this class (None = all classes).
+    filter_class: Option<TrafficClass>,
+    truncated: bool,
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            records: Vec::new(),
+            capacity,
+            filter_class: None,
+            truncated: false,
+        }
+    }
+
+    /// Record only events for `class`.
+    pub fn with_class(mut self, class: TrafficClass) -> Self {
+        self.filter_class = Some(class);
+        self
+    }
+
+    /// Record one event (internal hook; called by links/sim).
+    pub fn record(&mut self, at: SimTime, kind: TraceKind, link: Option<LinkId>, pkt: &Packet) {
+        self.record_raw(at, kind, link, pkt.flow.0, pkt.class, pkt.seq, pkt.size);
+    }
+
+    /// Record from raw fields (avoids borrowing a whole packet on paths
+    /// where it has already been moved into a queue).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_raw(
+        &mut self,
+        at: SimTime,
+        kind: TraceKind,
+        link: Option<LinkId>,
+        flow: u64,
+        class: TrafficClass,
+        seq: u64,
+        size: u32,
+    ) {
+        if let Some(c) = self.filter_class {
+            if class != c {
+                return;
+            }
+        }
+        if self.records.len() >= self.capacity {
+            self.truncated = true;
+            return;
+        }
+        self.records.push(TraceRecord {
+            at,
+            kind,
+            link,
+            flow,
+            class,
+            seq,
+            size,
+        });
+    }
+
+    /// All recorded events, in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// True if the capacity was hit and events were lost.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Count events of one kind.
+    pub fn count(&self, kind: TraceKind) -> usize {
+        self.records.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Render all records, one per line (ns-2-style).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId};
+
+    fn pkt(class: TrafficClass, seq: u64) -> Packet {
+        Packet::new(
+            seq,
+            FlowId(3),
+            NodeId(0),
+            NodeId(1),
+            125,
+            class,
+            seq,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn records_in_order_with_fields() {
+        let mut t = Tracer::new(10);
+        t.record(SimTime::from_secs(1), TraceKind::Enqueue, Some(LinkId(0)), &pkt(TrafficClass::Data, 7));
+        t.record(SimTime::from_secs(2), TraceKind::Transmit, Some(LinkId(0)), &pkt(TrafficClass::Data, 7));
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.records()[0].kind, TraceKind::Enqueue);
+        assert_eq!(t.records()[1].seq, 7);
+        assert_eq!(t.count(TraceKind::Transmit), 1);
+        assert!(!t.truncated());
+    }
+
+    #[test]
+    fn class_filter() {
+        let mut t = Tracer::new(10).with_class(TrafficClass::Probe);
+        t.record(SimTime::ZERO, TraceKind::Drop, Some(LinkId(1)), &pkt(TrafficClass::Data, 0));
+        t.record(SimTime::ZERO, TraceKind::Drop, Some(LinkId(1)), &pkt(TrafficClass::Probe, 1));
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.records()[0].class, TrafficClass::Probe);
+    }
+
+    #[test]
+    fn capacity_stops_recording_and_flags() {
+        let mut t = Tracer::new(2);
+        for i in 0..5 {
+            t.record(SimTime::ZERO, TraceKind::Enqueue, None, &pkt(TrafficClass::Data, i));
+        }
+        assert_eq!(t.records().len(), 2);
+        assert!(t.truncated());
+    }
+
+    #[test]
+    fn display_format_is_ns2_like() {
+        let mut t = Tracer::new(4);
+        t.record(
+            SimTime::from_secs_f64(1.5),
+            TraceKind::Drop,
+            Some(LinkId(2)),
+            &pkt(TrafficClass::Probe, 9),
+        );
+        let line = t.dump();
+        assert!(line.starts_with("d 1.5"), "{line}");
+        assert!(line.contains("l2"));
+        assert!(line.contains("f3"));
+        assert!(line.contains("s9"));
+        assert!(line.contains("125B"));
+    }
+}

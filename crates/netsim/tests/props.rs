@@ -1,0 +1,220 @@
+//! Property-based tests of the queueing disciplines' invariants.
+
+use netsim::{
+    Dequeue, DropTail, Drr, Enqueued, FlowId, Limit, NodeId, Packet, Qdisc, StrictPrio,
+    TokenBucket, TrafficClass,
+};
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+
+fn pkt(id: u64, flow: u64, size: u32, class: TrafficClass) -> Packet {
+    Packet::new(
+        id,
+        FlowId(flow),
+        NodeId(0),
+        NodeId(1),
+        size,
+        class,
+        id,
+        SimTime::ZERO,
+    )
+}
+
+/// An arbitrary workload step: enqueue (with class/size) or dequeue.
+#[derive(Clone, Debug)]
+enum Step {
+    Enq { flow: u64, size: u32, class: u8 },
+    Deq,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..8, 40u32..1500, 0u8..4).prop_map(|(flow, size, class)| Step::Enq {
+                flow,
+                size,
+                class
+            }),
+            Just(Step::Deq),
+        ],
+        1..400,
+    )
+}
+
+fn class_of(idx: u8) -> TrafficClass {
+    TrafficClass::ALL[idx as usize % TrafficClass::COUNT]
+}
+
+/// Run a workload and check conservation: every packet offered is either
+/// rejected at enqueue, evicted, dequeued, or still queued at the end.
+fn check_conservation(q: &mut dyn Qdisc, steps: &[Step]) -> Result<(), TestCaseError> {
+    let now = SimTime::ZERO;
+    let (mut offered, mut rejected, mut evicted, mut dequeued) = (0u64, 0u64, 0u64, 0u64);
+    let mut id = 0;
+    for s in steps {
+        match s {
+            Step::Enq { flow, size, class } => {
+                offered += 1;
+                let Enqueued { accepted, evicted: ev } =
+                    q.enqueue(pkt(id, *flow, *size, class_of(*class)), now);
+                id += 1;
+                if !accepted {
+                    rejected += 1;
+                }
+                evicted += ev.len() as u64;
+            }
+            Step::Deq => {
+                if let Dequeue::Packet(_) = q.dequeue(now) {
+                    dequeued += 1;
+                }
+            }
+        }
+    }
+    prop_assert_eq!(
+        offered,
+        rejected + evicted + dequeued + q.len_packets() as u64,
+        "packet conservation violated"
+    );
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn droptail_conserves_packets(s in steps(), limit in 1usize..64) {
+        let mut q = DropTail::new(Limit::Packets(limit));
+        check_conservation(&mut q, &s)?;
+        prop_assert!(q.len_packets() <= limit);
+    }
+
+    #[test]
+    fn droptail_byte_limit_never_exceeded(s in steps(), limit in 100u64..20_000) {
+        let mut q = DropTail::new(Limit::Bytes(limit));
+        let now = SimTime::ZERO;
+        let mut id = 0;
+        for step in &s {
+            if let Step::Enq { flow, size, class } = step {
+                let _ = q.enqueue(pkt(id, *flow, *size, class_of(*class)), now);
+                id += 1;
+                prop_assert!(q.len_bytes() <= limit);
+            } else if let Dequeue::Packet(_) = q.dequeue(now) {}
+        }
+    }
+
+    #[test]
+    fn strict_prio_conserves_and_respects_shared_limit(s in steps(), limit in 1usize..64) {
+        let mut q = StrictPrio::admission_queue(Limit::Packets(limit), true);
+        check_conservation(&mut q, &s)?;
+        // Shared buffer covers data+probe only; control is unbounded, so
+        // bound the two shared bands via their own lens.
+        prop_assert!(q.band_len(1) + q.band_len(2) <= limit);
+    }
+
+    /// Strict priority: the dequeued packet always comes from the highest
+    /// non-empty band (no rate limiting configured here).
+    #[test]
+    fn strict_prio_dequeues_highest_band(s in steps()) {
+        let mut q = StrictPrio::admission_queue(Limit::Packets(1000), true);
+        let now = SimTime::ZERO;
+        let mut id = 0;
+        for step in &s {
+            match step {
+                Step::Enq { flow, size, class } => {
+                    let _ = q.enqueue(pkt(id, *flow, *size, class_of(*class)), now);
+                    id += 1;
+                }
+                Step::Deq => {
+                    let top = [
+                        (TrafficClass::Control, 0usize),
+                        (TrafficClass::Data, 1),
+                        (TrafficClass::Probe, 2),
+                    ]
+                    .iter()
+                    .find(|(_, b)| q.band_len(*b) > 0)
+                    .map(|(c, _)| *c);
+                    if let Dequeue::Packet(p) = q.dequeue(now) {
+                        // BestEffort maps onto the probe band in this queue.
+                        let got = if p.class == TrafficClass::BestEffort {
+                            TrafficClass::Probe
+                        } else {
+                            p.class
+                        };
+                        prop_assert_eq!(Some(got), top);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Push-out only ever evicts from bands strictly below the arriving
+    /// packet's priority (data evicts probes, never the reverse).
+    #[test]
+    fn pushout_only_evicts_lower_priority(s in steps(), limit in 1usize..32) {
+        let mut q = StrictPrio::admission_queue(Limit::Packets(limit), true);
+        let now = SimTime::ZERO;
+        let mut id = 0;
+        for step in &s {
+            if let Step::Enq { flow, size, class } = step {
+                let class = class_of(*class);
+                let r = q.enqueue(pkt(id, *flow, *size, class), now);
+                id += 1;
+                for victim in &r.evicted {
+                    // The probe band also carries best-effort packets in
+                    // this queue's class map.
+                    prop_assert!(
+                        victim.class == TrafficClass::Probe
+                            || victim.class == TrafficClass::BestEffort
+                    );
+                    prop_assert_eq!(class, TrafficClass::Data);
+                }
+            } else if let Dequeue::Packet(_) = q.dequeue(now) {}
+        }
+    }
+
+    #[test]
+    fn drr_conserves_packets(s in steps(), limit in 1usize..64, quantum in 1u64..4_000) {
+        let mut q = Drr::new(quantum, Limit::Packets(limit));
+        check_conservation(&mut q, &s)?;
+        prop_assert!(q.len_packets() <= limit);
+    }
+
+    /// DRR long-run byte fairness: two continuously-backlogged flows with
+    /// equal-size packets drain within one packet of each other.
+    #[test]
+    fn drr_equal_flows_fair(size in 40u32..1500, n in 10usize..80) {
+        let mut q = Drr::new(size as u64, Limit::Packets(10_000));
+        let now = SimTime::ZERO;
+        for i in 0..n as u64 {
+            let _ = q.enqueue(pkt(i * 2, 1, size, TrafficClass::Data), now);
+            let _ = q.enqueue(pkt(i * 2 + 1, 2, size, TrafficClass::Data), now);
+        }
+        let mut counts = [0i64; 3];
+        for _ in 0..n {
+            if let Dequeue::Packet(p) = q.dequeue(now) {
+                counts[p.flow.0 as usize] += 1;
+            }
+        }
+        prop_assert!((counts[1] - counts[2]).abs() <= 1, "{counts:?}");
+    }
+
+    /// Token bucket conformance: over any horizon, accepted bytes never
+    /// exceed depth + rate × time.
+    #[test]
+    fn token_bucket_conformance(
+        rate in 8_000u64..10_000_000,
+        depth in 200f64..100_000.0,
+        offers in prop::collection::vec((0u64..1_000_000u64, 40u32..1500), 1..200)
+    ) {
+        let mut tb = TokenBucket::new(rate, depth);
+        let mut t = SimTime::ZERO;
+        let mut accepted_bytes = 0u64;
+        for (gap_us, size) in offers {
+            t += SimDuration::from_micros(gap_us);
+            if size as f64 <= depth && tb.try_take(size, t) {
+                accepted_bytes += size as u64;
+            }
+        }
+        let budget = depth + rate as f64 / 8.0 * t.as_secs_f64() + 1.0;
+        prop_assert!(accepted_bytes as f64 <= budget,
+            "{accepted_bytes} bytes exceeds budget {budget}");
+    }
+}

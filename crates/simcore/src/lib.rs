@@ -1,0 +1,25 @@
+//! # simcore — deterministic discrete-event simulation engine
+//!
+//! The foundation of the endpoint-admission-control reproduction. Provides:
+//!
+//! - [`SimTime`] / [`SimDuration`]: integer-nanosecond time, so event
+//!   ordering never depends on floating-point rounding;
+//! - [`EventQueue`]: a binary-heap event calendar with a monotone sequence
+//!   number for stable FIFO ordering of simultaneous events;
+//! - [`rng::SimRng`]: a seeded RNG with cheap derived streams and the
+//!   distribution samplers the paper's workloads need (exponential, Pareto);
+//! - [`stats`]: statistics accumulators (Welford mean/variance,
+//!   time-weighted averages, counters, fixed-bin histograms).
+//!
+//! The engine is deliberately synchronous and single-threaded per
+//! simulation run: determinism is a feature (identical seeds produce
+//! bit-identical runs). Parallelism belongs one level up, across runs.
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,235 @@
+//! Deterministic random numbers for simulations.
+//!
+//! Every run takes a single master seed; every component derives its own
+//! independent stream with [`SimRng::derive`] so that adding a new consumer
+//! of randomness never perturbs the draws seen by existing components
+//! (stream independence is what makes variance-reduction across designs
+//! meaningful — the paper compares designs under the "same" traffic).
+//!
+//! Samplers for the distributions the paper's workloads use are provided
+//! directly: exponential (on/off times, flow lifetimes, interarrivals) and
+//! Pareto (the POO1 source, aggregate LRD traffic).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random stream.
+///
+/// Thin wrapper around a seeded [`StdRng`] adding derived sub-streams and
+/// the inverse-transform samplers used by the traffic models.
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create a stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream identified by `tag`.
+    ///
+    /// Uses SplitMix64-style mixing of `(seed, tag)` so children with
+    /// different tags are decorrelated, and the same `(seed, tag)` always
+    /// yields the same stream.
+    pub fn derive(&self, tag: u64) -> SimRng {
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(tag)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Exponential with the given `mean` (inverse transform).
+    ///
+    /// Panics if `mean` is not strictly positive.
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be > 0");
+        // 1 - U is in (0, 1], so ln() is finite.
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// Pareto with shape `alpha` and the given `mean`.
+    ///
+    /// For `alpha > 1` the mean of a Pareto with scale `x_m` is
+    /// `alpha * x_m / (alpha - 1)`, so `x_m = mean * (alpha - 1) / alpha`.
+    /// The paper's POO1 source uses `alpha = 1.2`, which has finite mean but
+    /// infinite variance — the ingredient for LRD aggregate traffic.
+    ///
+    /// Panics unless `alpha > 1` and `mean > 0`.
+    #[inline]
+    pub fn pareto(&mut self, alpha: f64, mean: f64) -> f64 {
+        assert!(alpha > 1.0, "pareto needs alpha > 1 for a finite mean");
+        assert!(mean > 0.0);
+        let xm = mean * (alpha - 1.0) / alpha;
+        let u = 1.0 - self.uniform(); // (0, 1]
+        xm / u.powf(1.0 / alpha)
+    }
+
+    /// Standard normal via Box–Muller (polar form avoided for simplicity;
+    /// this is not on any hot path).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0);
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Lognormal such that the *resulting variable* has the given mean and
+    /// coefficient of variation `cv` (std/mean). Used by the synthetic
+    /// video source for frame sizes.
+    pub fn lognormal(&mut self, mean: f64, cv: f64) -> f64 {
+        assert!(mean > 0.0 && cv >= 0.0);
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        (mu + sigma2.sqrt() * self.normal(0.0, 1.0)).exp()
+    }
+
+    /// Raw 64 random bits (for hashing-style uses).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimRng(seed={})", self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ_and_are_stable() {
+        let root = SimRng::new(7);
+        let mut c1 = root.derive(1);
+        let mut c2 = root.derive(2);
+        let mut c1b = root.derive(1);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+        let _ = c1b.next_u64();
+        // Same tag gives same stream.
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = SimRng::new(1);
+        let n = 200_000;
+        let mean = 3.5;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let m = sum / n as f64;
+        assert!((m - mean).abs() < 0.05, "sample mean {m}");
+    }
+
+    #[test]
+    fn pareto_mean_close_and_heavy_tailed() {
+        let mut r = SimRng::new(2);
+        let n = 2_000_000;
+        let mean = 0.5;
+        let alpha = 1.9; // finite-variance-ish so the sample mean converges in test time
+        let mut sum = 0.0;
+        let mut max: f64 = 0.0;
+        for _ in 0..n {
+            let x = r.pareto(alpha, mean);
+            sum += x;
+            max = max.max(x);
+        }
+        let m = sum / n as f64;
+        assert!((m - mean).abs() / mean < 0.05, "sample mean {m}");
+        // Heavy tail: the max of 2M draws should dwarf the mean.
+        assert!(max > mean * 50.0, "max {max}");
+    }
+
+    #[test]
+    fn pareto_minimum_is_scale() {
+        let mut r = SimRng::new(3);
+        let alpha = 1.2;
+        let mean = 1.0;
+        let xm = mean * (alpha - 1.0) / alpha;
+        for _ in 0..10_000 {
+            assert!(r.pareto(alpha, mean) >= xm * 0.999_999);
+        }
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = SimRng::new(4);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_frequency() {
+        let mut r = SimRng::new(5);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        let f = hits as f64 / 100_000.0;
+        assert!((f - 0.3).abs() < 0.01, "freq {f}");
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        let mut r = SimRng::new(6);
+        let n = 200_000;
+        let (mean, cv) = (10.0, 0.5);
+        let xs: Vec<f64> = (0..n).map(|_| r.lognormal(mean, cv)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+        assert!((m - mean).abs() / mean < 0.02, "mean {m}");
+        assert!((var.sqrt() / m - cv).abs() < 0.02, "cv {}", var.sqrt() / m);
+    }
+}

@@ -1,0 +1,17 @@
+//! # tcpsim — packet-level TCP Reno endpoints
+//!
+//! Fig 11 of the paper studies incremental deployment: admission-
+//! controlled traffic sharing a legacy drop-tail queue with TCP Reno
+//! flows. This crate provides the TCP half: a [`TcpSenderBank`] of
+//! long-lived (FTP-style, infinite backlog) Reno senders and a
+//! [`TcpSinkBank`] of receivers generating cumulative ACKs.
+//!
+//! The implementation follows the classic Reno algorithms as implemented
+//! in ns-2: slow start, congestion avoidance, fast retransmit on three
+//! duplicate ACKs, fast recovery (window inflation, deflation on new
+//! ACK), and Jacobson/Karels RTO estimation with exponential backoff and
+//! go-back-N after a timeout. Windows are counted in packets, as in ns-2.
+
+pub mod reno;
+
+pub use reno::{TcpSenderBank, TcpSinkBank, TcpStats};

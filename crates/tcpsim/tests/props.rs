@@ -1,0 +1,89 @@
+//! Property-based tests of TCP Reno: reliability and congestion-window
+//! sanity across randomized bottleneck conditions.
+
+use netsim::{DropTail, Limit, Network, NodeId, Qdisc, Sim};
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+use tcpsim::{TcpSenderBank, TcpSinkBank};
+
+fn dumbbell(bps: u64, buffer: usize, delay_ms: u64) -> (Sim, NodeId, NodeId) {
+    let mut net = Network::new();
+    let a = net.add_node();
+    let b = net.add_node();
+    let q: Box<dyn Qdisc> = Box::new(DropTail::new(Limit::Packets(buffer)));
+    net.add_link(a, b, bps, SimDuration::from_millis(delay_ms), q, None);
+    net.add_link(
+        b,
+        a,
+        1_000_000_000,
+        SimDuration::from_millis(delay_ms),
+        Box::new(DropTail::new(Limit::Packets(100_000))),
+        None,
+    );
+    (Sim::new(net), a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Reliability: regardless of bottleneck rate, buffer and RTT, the
+    /// amount of data the sender counts as acknowledged never exceeds the
+    /// in-order bytes the receiver delivered, and the connection always
+    /// makes progress.
+    #[test]
+    fn acked_data_was_delivered(
+        bps_kb in 200u64..5_000,
+        buffer in 4usize..64,
+        delay_ms in 1u64..50,
+        nflows in 1usize..4,
+    ) {
+        let (mut sim, a, b) = dumbbell(bps_kb * 1_000, buffer, delay_ms);
+        sim.attach(a, Box::new(TcpSenderBank::new(b, nflows, 1_000, 1 << 48, SimTime::ZERO)));
+        sim.attach(b, Box::new(TcpSinkBank::new()));
+        sim.run_until(SimTime::from_secs(20));
+        let acked = {
+            let s = sim.agent::<TcpSenderBank>(a).unwrap();
+            s.stats.acked.total()
+        };
+        let delivered_pkts = {
+            let sink = sim.agent::<TcpSinkBank>(b).unwrap();
+            sink.goodput_bytes.total() / 1_000
+        };
+        prop_assert!(acked > 0, "no progress");
+        prop_assert!(delivered_pkts >= acked,
+            "acked {acked} exceeds delivered {delivered_pkts}");
+    }
+
+    /// Goodput never exceeds the bottleneck rate (no phantom bandwidth).
+    #[test]
+    fn goodput_bounded_by_link(
+        bps_kb in 200u64..5_000,
+        buffer in 4usize..64,
+    ) {
+        let horizon = 20.0;
+        let (mut sim, a, b) = dumbbell(bps_kb * 1_000, buffer, 10);
+        sim.attach(a, Box::new(TcpSenderBank::new(b, 2, 1_000, 1 << 48, SimTime::ZERO)));
+        sim.attach(b, Box::new(TcpSinkBank::new()));
+        sim.run_until(SimTime::from_secs_f64(horizon));
+        let sink = sim.agent::<TcpSinkBank>(b).unwrap();
+        let goodput = sink.goodput_bytes.total() as f64 * 8.0 / horizon;
+        prop_assert!(goodput <= bps_kb as f64 * 1_000.0 * 1.02,
+            "goodput {goodput} exceeds link {}", bps_kb * 1_000);
+    }
+
+    /// With a tiny buffer the sender must take losses yet keep delivering
+    /// (retransmissions recover every hole).
+    #[test]
+    fn recovers_from_heavy_loss(seed_buffer in 2usize..6) {
+        let (mut sim, a, b) = dumbbell(500_000, seed_buffer, 5);
+        sim.attach(a, Box::new(TcpSenderBank::new(b, 1, 1_000, 1 << 48, SimTime::ZERO)));
+        sim.attach(b, Box::new(TcpSinkBank::new()));
+        sim.run_until(SimTime::from_secs(60));
+        let (retx, acked) = {
+            let s = sim.agent::<TcpSenderBank>(a).unwrap();
+            (s.stats.retransmits.total(), s.stats.acked.total())
+        };
+        prop_assert!(retx > 0, "tiny buffer should force losses");
+        prop_assert!(acked > 1_000, "delivery stalled: {acked}");
+    }
+}

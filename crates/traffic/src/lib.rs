@@ -1,0 +1,20 @@
+//! # traffic — workload generation
+//!
+//! The paper's traffic sources (Table 1: EXP1–EXP4, POO1, and the Star
+//! Wars video trace, here a synthetic LRD VBR stand-in), token-bucket
+//! policing, and flow demography (Poisson arrivals, exponential
+//! lifetimes).
+//!
+//! Sources are pull-based [`PacketProcess`]es — pure generators returning
+//! (gap, size) pairs — which host agents in the `eac` crate turn into
+//! timer-driven packet emissions.
+
+pub mod process;
+pub mod shaper;
+pub mod spec;
+pub mod video;
+
+pub use process::{Cbr, OnOff, PacketProcess, PeriodDist};
+pub use shaper::{Policer, TokenBucketSpec};
+pub use spec::{Demography, SourceKind, SourceSpec};
+pub use video::{VideoConfig, VideoSource};

@@ -1,0 +1,45 @@
+//! Multi-hop probing (§4.6, Fig 10): long flows fight for admission
+//! across three congested backbone links while cross traffic contends
+//! with one. Prints the Table 5/6 rows for one design.
+//!
+//! ```sh
+//! cargo run --release --example multihop
+//! ```
+
+use endpoint_admission::eac::multihop::{product_blocking, MultihopScenario};
+
+fn main() {
+    println!("12-node topology: 4 routers, 3 congested 10 Mbps backbone links.");
+    println!("Cross flows cross one congested hop; long flows cross all three.");
+    println!("EXP1 sources, slow-start probing, eps = 0. Running...\n");
+
+    let report = MultihopScenario::tables56()
+        .horizon_secs(1_200.0)
+        .warmup_secs(300.0)
+        .seed(7)
+        .run();
+
+    println!("backbone utilizations: {:?}\n", report
+        .link_utils
+        .iter()
+        .map(|u| format!("{u:.3}"))
+        .collect::<Vec<_>>());
+
+    println!("{:<10} {:>9} {:>9} {:>12}", "group", "blocking", "loss", "hops");
+    for (g, hops) in report.groups.iter().zip([1, 1, 1, 3]) {
+        println!(
+            "{:<10} {:>9.3} {:>9.5} {:>12}",
+            g.name, g.blocking, g.loss, hops
+        );
+    }
+
+    let cross: Vec<f64> = (0..3).map(|i| report.groups[i].blocking).collect();
+    let product = product_blocking(&cross);
+    let long = report.groups[3].blocking;
+    println!("\nper-hop product approximation for long flows: {product:.3}");
+    println!("observed long-flow blocking:                  {long:.3}");
+    println!("\nthe paper's two findings: the long path does not corrupt the");
+    println!("admission signal (long loss ~ 3x short loss), and dropping");
+    println!("designs discriminate against multi-hop flows somewhat more than");
+    println!("the product approximation predicts.");
+}

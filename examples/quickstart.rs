@@ -1,0 +1,53 @@
+//! Quickstart: run the paper's basic scenario (§4.1) under endpoint
+//! admission control and under the MBAC benchmark, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use endpoint_admission::eac::design::Design;
+use endpoint_admission::eac::probe::{Placement, ProbeStyle, Signal};
+use endpoint_admission::eac::scenario::Scenario;
+
+fn main() {
+    // EXP1 sources (256 kbps bursts, 128 kbps average) arrive every 3.5 s
+    // on average and live ~300 s, sharing a 10 Mbps bottleneck.
+    // Each flow probes for 5 s with the slow-start ladder; the receiver
+    // accepts it if the probe loss fraction stays within epsilon.
+    let endpoint = Scenario::basic()
+        .design(Design::endpoint(
+            Signal::Drop,
+            Placement::InBand,
+            ProbeStyle::SlowStart,
+            0.01,
+        ))
+        .horizon_secs(1_000.0)
+        .warmup_secs(200.0)
+        .seed(42);
+
+    println!("running endpoint admission control (drop, in-band, eps=0.01)...");
+    let r = endpoint.run();
+    println!(
+        "  utilization {:.3}, data loss {:.5}, blocking {:.3}, probe overhead {:.3}",
+        r.utilization, r.data_loss, r.blocking, r.probe_overhead
+    );
+
+    // The router-based benchmark: Measured Sum with a 0.9 target.
+    let mbac = Scenario::basic()
+        .design(Design::mbac(0.9))
+        .horizon_secs(1_000.0)
+        .warmup_secs(200.0)
+        .seed(42);
+
+    println!("running the Measured Sum MBAC benchmark (eta=0.9)...");
+    let m = mbac.run();
+    println!(
+        "  utilization {:.3}, data loss {:.5}, blocking {:.3}",
+        m.utilization, m.data_loss, m.blocking
+    );
+
+    println!();
+    println!("the paper's headline: the endpoint scheme loses only modestly");
+    println!("to the router-based benchmark — here {:.5} vs {:.5} loss at", r.data_loss, m.data_loss);
+    println!("{:.2} vs {:.2} utilization, with no router state at all.", r.utilization, m.utilization);
+}

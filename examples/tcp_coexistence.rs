@@ -1,0 +1,44 @@
+//! Incremental deployment (§4.7, Fig 11): admission-controlled traffic
+//! meets 20 TCP Reno flows at a legacy drop-tail router. Below a
+//! critical ε the TCP-induced loss locks the probers out entirely; above
+//! it the two populations share.
+//!
+//! ```sh
+//! cargo run --release --example tcp_coexistence
+//! ```
+
+use endpoint_admission::eac::coexist::CoexistScenario;
+
+fn main() {
+    println!("legacy router: one 10 Mbps drop-tail FIFO shared by 20 TCP Reno");
+    println!("flows (from t=0) and EXP1 admission-controlled flows probing");
+    println!("in-band (from t=50s). Sweeping the acceptance threshold...\n");
+
+    println!("{:>6} {:>10} {:>10} {:>10}", "eps", "TCP util", "EAC util", "blocking");
+    let mut locked_out = 0;
+    let mut sharing = 0;
+    for eps in [0.0, 0.02, 0.05, 0.08, 0.10, 0.12] {
+        let r = CoexistScenario::fig11(eps)
+            .horizon_secs(800.0)
+            .steady_after_secs(250.0)
+            .seed(3)
+            .run();
+        println!(
+            "{:>6.2} {:>10.3} {:>10.3} {:>10.3}",
+            eps, r.tcp_util, r.eac_util, r.blocking
+        );
+        if r.eac_util < 0.02 {
+            locked_out += 1;
+        } else {
+            sharing += 1;
+        }
+    }
+
+    println!();
+    println!("{locked_out} threshold(s) below the critical value (TCP keeps the link,");
+    println!("the admission-controlled traffic surrenders gracefully);");
+    println!("{sharing} above it (the two classes share the bandwidth).");
+    println!("that is the paper's conclusion: at legacy routers endpoint");
+    println!("admission control either shares fairly or backs off — it never");
+    println!("starves TCP.");
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: the full probing protocol, the MBAC
+//! benchmark and the measurement pipeline, exercised through the facade
+//! crate end to end.
+
+use endpoint_admission::eac::design::{Design, Group};
+use endpoint_admission::eac::probe::{Placement, ProbeStyle, Signal};
+use endpoint_admission::eac::scenario::Scenario;
+use endpoint_admission::traffic::SourceSpec;
+
+fn quick(design: Design, tau: f64, seed: u64) -> endpoint_admission::eac::Report {
+    Scenario::basic()
+        .design(design)
+        .tau(tau)
+        .horizon_secs(600.0)
+        .warmup_secs(150.0)
+        .seed(seed)
+        .run()
+}
+
+#[test]
+fn same_seed_same_world_across_designs_is_deterministic() {
+    let d = Design::endpoint(Signal::Mark, Placement::OutOfBand, ProbeStyle::SlowStart, 0.05);
+    let a = quick(d, 3.5, 11);
+    let b = quick(d, 3.5, 11);
+    assert_eq!(a.utilization, b.utilization);
+    assert_eq!(a.data_loss, b.data_loss);
+    assert_eq!(a.blocking, b.blocking);
+    assert_eq!(a.groups[0].data_sent, b.groups[0].data_sent);
+}
+
+#[test]
+fn different_seeds_differ_but_agree_statistically() {
+    let d = Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.01);
+    let a = quick(d, 3.5, 1);
+    let b = quick(d, 3.5, 2);
+    assert_ne!(a.groups[0].data_sent, b.groups[0].data_sent);
+    assert!((a.utilization - b.utilization).abs() < 0.15);
+}
+
+#[test]
+fn admission_control_actually_limits_load() {
+    // Offered load ~400%: without admission control the link would melt;
+    // with it, utilization stays near capacity and loss bounded.
+    let d = Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.01);
+    let r = quick(d, 1.0, 3);
+    assert!(r.blocking > 0.4, "blocking {}", r.blocking);
+    assert!(r.utilization > 0.55 && r.utilization < 1.01, "util {}", r.utilization);
+    assert!(r.data_loss < 0.1, "loss {}", r.data_loss);
+}
+
+#[test]
+fn probe_overhead_is_modest_at_normal_load() {
+    let d = Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.01);
+    let r = quick(d, 3.5, 4);
+    assert!(r.probe_overhead < 0.10, "probe overhead {}", r.probe_overhead);
+}
+
+#[test]
+fn marking_designs_mark_instead_of_dropping() {
+    let mark = quick(
+        Design::endpoint(Signal::Mark, Placement::InBand, ProbeStyle::SlowStart, 0.02),
+        3.5,
+        5,
+    );
+    assert!(
+        mark.mark_fraction > 0.0,
+        "virtual queue produced no marks: {mark:?}"
+    );
+    // Marks arrive before drops: the marking design's loss is below the
+    // dropping design's at the same epsilon.
+    let drop = quick(
+        Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.02),
+        3.5,
+        5,
+    );
+    assert!(
+        mark.data_loss <= drop.data_loss + 1e-3,
+        "mark {} vs drop {}",
+        mark.data_loss,
+        drop.data_loss
+    );
+}
+
+#[test]
+fn mbac_blocking_grows_as_target_shrinks() {
+    let strict = quick(Design::mbac(0.7), 2.0, 6);
+    let loose = quick(Design::mbac(1.0), 2.0, 6);
+    assert!(
+        strict.blocking > loose.blocking,
+        "eta=0.7 blocking {} vs eta=1.0 {}",
+        strict.blocking,
+        loose.blocking
+    );
+    assert!(strict.utilization < loose.utilization + 0.02);
+}
+
+#[test]
+fn multi_group_scenarios_attribute_stats_per_group() {
+    let d = Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.02);
+    let r = Scenario::basic()
+        .groups(vec![
+            Group::new("EXP1", SourceSpec::exp1(), 3.0),
+            Group::new("EXP2", SourceSpec::exp2(), 1.0),
+        ])
+        .design(d)
+        .horizon_secs(600.0)
+        .warmup_secs(150.0)
+        .seed(7)
+        .run();
+    assert_eq!(r.groups.len(), 2);
+    let (g1, g2) = (&r.groups[0], &r.groups[1]);
+    assert!(g1.decided > 0 && g2.decided > 0);
+    // 3:1 weighting shows up in the arrival split.
+    let ratio = g1.decided as f64 / g2.decided as f64;
+    assert!(ratio > 1.8 && ratio < 5.0, "ratio {ratio}");
+    // Aggregate counts equal the sum of groups.
+    let sent: u64 = r.groups.iter().map(|g| g.data_sent).sum();
+    assert!(sent > 0);
+}
+
+#[test]
+fn rejected_flows_never_send_data() {
+    // With eps=0 under heavy load many flows are rejected; every data
+    // packet received must belong to an accepted flow, which shows up as
+    // consistency between utilization and accepted counts.
+    let d = Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::Simple, 0.0);
+    let r = quick(d, 1.0, 8);
+    assert!(r.blocking > 0.5);
+    // Data was sent only by accepted flows: sent > 0 iff accepted > 0.
+    let acc: u64 = r.groups.iter().map(|g| g.accepted).sum();
+    let sent: u64 = r.groups.iter().map(|g| g.data_sent).sum();
+    assert!(acc > 0 && sent > 0);
+}
+
+#[test]
+fn longer_probes_reduce_loss_but_cost_utilization() {
+    let d = Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.01);
+    let short = Scenario::basic()
+        .design(d)
+        .probe_secs(5.0)
+        .horizon_secs(900.0)
+        .warmup_secs(200.0)
+        .seed(9)
+        .run();
+    let long = Scenario::basic()
+        .design(d)
+        .probe_secs(25.0)
+        .horizon_secs(900.0)
+        .warmup_secs(200.0)
+        .seed(9)
+        .run();
+    // Fig 3's shape: longer probing spends more of the share on probes.
+    assert!(
+        long.probe_overhead > short.probe_overhead,
+        "long {} vs short {}",
+        long.probe_overhead,
+        short.probe_overhead
+    );
+    assert!(long.data_loss <= short.data_loss + 5e-3);
+}

@@ -1,0 +1,175 @@
+//! Shape tests against the paper's headline findings, at reduced scale.
+//! These assert the *qualitative* results (who wins, what direction)
+//! rather than absolute numbers — the quantitative record lives in
+//! EXPERIMENTS.md.
+
+use endpoint_admission::eac::design::{Design, Group};
+use endpoint_admission::eac::probe::{Placement, ProbeStyle, Signal};
+use endpoint_admission::eac::scenario::Scenario;
+use endpoint_admission::fluid;
+use endpoint_admission::traffic::SourceSpec;
+
+fn basic(design: Design, seed: u64) -> endpoint_admission::eac::Report {
+    Scenario::basic()
+        .design(design)
+        .horizon_secs(1_200.0)
+        .warmup_secs(250.0)
+        .seed(seed)
+        .run()
+}
+
+/// §4.1/Fig 2 — the range result: at ε = 0, out-of-band marking achieves
+/// a far lower loss floor than in-band dropping for the same probing
+/// length.
+#[test]
+fn fig2_out_of_band_marking_reaches_lower_loss_than_in_band_dropping() {
+    let drop_ib = basic(
+        Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.0),
+        21,
+    );
+    let mark_oob = basic(
+        Design::endpoint(Signal::Mark, Placement::OutOfBand, ProbeStyle::SlowStart, 0.0),
+        21,
+    );
+    assert!(
+        mark_oob.data_loss < drop_ib.data_loss / 2.0,
+        "mark oob {} should be well below drop in-band {}",
+        mark_oob.data_loss,
+        drop_ib.data_loss
+    );
+}
+
+/// §4.1 — even at ε = 0, in-band dropping has a loss floor, of the order
+/// of the rule-of-thumb 1 − 2^(−1/n).
+#[test]
+fn fig2_in_band_dropping_loss_floor() {
+    let r = basic(
+        Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.0),
+        22,
+    );
+    let floor = fluid::statics::in_band_drop_floor(496); // slow-start EXP1 probe packets
+    assert!(
+        r.data_loss > floor / 10.0,
+        "loss {} sits far below the rule-of-thumb floor {floor}",
+        r.data_loss
+    );
+    assert!(r.data_loss < 0.05, "loss {} absurdly high", r.data_loss);
+}
+
+/// §4.2/Figs 4–5 — under ~400% offered load, slow-start probing keeps
+/// utilization above simple probing (thrashing mitigation).
+#[test]
+fn fig4_slow_start_beats_simple_probing_under_high_load() {
+    let mk = |style| {
+        Scenario::basic()
+            .design(Design::endpoint(Signal::Drop, Placement::InBand, style, 0.01))
+            .tau(1.0)
+            .horizon_secs(1_200.0)
+            .warmup_secs(250.0)
+            .seed(23)
+            .run()
+    };
+    let simple = mk(ProbeStyle::Simple);
+    let slow = mk(ProbeStyle::SlowStart);
+    assert!(
+        slow.utilization > simple.utilization - 0.02,
+        "slow-start {} vs simple {}",
+        slow.utilization,
+        simple.utilization
+    );
+    // And the probe overhead of slow start is lower (it ramps).
+    assert!(slow.probe_overhead < simple.probe_overhead + 1e-3);
+}
+
+/// §4.4/Table 3 — heterogeneous thresholds: a more stringent ε only buys
+/// a higher blocking probability, not better service.
+#[test]
+fn table3_lower_epsilon_blocks_more_without_helping() {
+    let d = Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.0);
+    let r = Scenario::basic()
+        .groups(vec![
+            Group::new("low", SourceSpec::exp1(), 1.0).with_epsilon(0.0),
+            Group::new("high", SourceSpec::exp1(), 1.0).with_epsilon(0.05),
+        ])
+        .design(d)
+        .tau(2.5)
+        .horizon_secs(1_500.0)
+        .warmup_secs(300.0)
+        .seed(24)
+        .run();
+    let (low, high) = (&r.groups[0], &r.groups[1]);
+    assert!(low.decided > 30 && high.decided > 30);
+    assert!(
+        low.blocking > high.blocking,
+        "low-eps blocking {} should exceed high-eps {}",
+        low.blocking,
+        high.blocking
+    );
+    // Once admitted they share the same class: similar loss.
+    assert!((low.loss - high.loss).abs() < 0.02);
+}
+
+/// §2.2.3/Fig 1 — the fluid model's sharp transition.
+#[test]
+fn fig1_fluid_transition_inside_published_range() {
+    let before = fluid::ThrashModel::fig1(1.4).point(5_000.0, 4);
+    let after = fluid::ThrashModel::fig1(4.5).point(5_000.0, 4);
+    assert!(before.utilization > 0.5, "pre-transition {}", before.utilization);
+    assert!(after.utilization < 0.25, "post-transition {}", after.utilization);
+    assert!(after.loss_in_band > 0.7, "post-transition loss {}", after.loss_in_band);
+}
+
+/// §4.5/Table 4 — endpoint designs discriminate against large flows less
+/// than MBAC does.
+#[test]
+fn table4_large_flows_blocked_more_than_small() {
+    let d = Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.01);
+    let r = Scenario::basic()
+        .groups(vec![
+            Group::new("EXP1", SourceSpec::exp1(), 1.0),
+            Group::new("EXP2", SourceSpec::exp2(), 1.0),
+            Group::new("EXP4", SourceSpec::exp4(), 1.0),
+            Group::new("POO1", SourceSpec::poo1(), 1.0),
+        ])
+        .design(d)
+        .tau(3.0)
+        .horizon_secs(1_500.0)
+        .warmup_secs(300.0)
+        .seed(25)
+        .run();
+    // EXP2 probes at 1024k, 4x the others: it faces higher blocking.
+    let large = &r.groups[1];
+    let small_avg = (r.groups[0].blocking + r.groups[2].blocking + r.groups[3].blocking) / 3.0;
+    assert!(
+        large.blocking >= small_avg,
+        "large {} vs small avg {}",
+        large.blocking,
+        small_avg
+    );
+}
+
+/// §4.1 — the loss-load trade: raising ε raises utilization and loss
+/// together (the curve's two ends).
+#[test]
+fn loss_load_curve_moves_the_right_way() {
+    let strict = basic(
+        Design::endpoint(Signal::Drop, Placement::OutOfBand, ProbeStyle::SlowStart, 0.0),
+        26,
+    );
+    let loose = basic(
+        Design::endpoint(Signal::Drop, Placement::OutOfBand, ProbeStyle::SlowStart, 0.20),
+        26,
+    );
+    assert!(
+        loose.utilization >= strict.utilization - 0.02,
+        "loose util {} vs strict {}",
+        loose.utilization,
+        strict.utilization
+    );
+    assert!(
+        loose.blocking <= strict.blocking,
+        "loose blocking {} vs strict {}",
+        loose.blocking,
+        strict.blocking
+    );
+}

@@ -1,0 +1,161 @@
+//! §2.1.2 end-to-end: the rate-limited strict-priority scheduler that
+//! separates admission-controlled traffic from best effort. The
+//! admission-controlled class must get its allocated share when it wants
+//! it (never pre-empted), must never exceed it (never borrows), and best
+//! effort must soak up whatever is left (the scheduler is
+//! non-work-conserving only for the admission-controlled group).
+
+use endpoint_admission::netsim::{
+    Agent, Api, FlowId, Limit, Network, NodeId, Packet, Sim, StrictPrio, TrafficClass,
+};
+use endpoint_admission::simcore::{SimDuration, SimRng, SimTime};
+use std::any::Any;
+
+/// A jittered CBR source of one class.
+struct Source {
+    peer: NodeId,
+    class: TrafficClass,
+    rate_bps: f64,
+    pkt: u32,
+    rng: SimRng,
+    seq: u64,
+}
+
+impl Agent for Source {
+    fn on_start(&mut self, api: &mut Api) {
+        api.timer_in(SimDuration::ZERO, 0, 0);
+    }
+    fn on_packet(&mut self, _p: Packet, _api: &mut Api) {}
+    fn on_timer(&mut self, _k: u32, _d: u64, api: &mut Api) {
+        let p = Packet::new(
+            self.seq,
+            FlowId(self.class as u64),
+            api.node,
+            self.peer,
+            self.pkt,
+            self.class,
+            self.seq,
+            api.now(),
+        );
+        self.seq += 1;
+        api.send(p);
+        let nominal = self.pkt as f64 * 8.0 / self.rate_bps;
+        let gap = nominal * self.rng.uniform_range(0.95, 1.05);
+        api.timer_in(SimDuration::from_secs_f64(gap), 0, 0);
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct NullSink;
+impl Agent for NullSink {
+    fn on_packet(&mut self, _p: Packet, _api: &mut Api) {}
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Build a 10 Mbps link whose admission-controlled share is 3 Mbps, feed
+/// it `ac_bps` of Data and `be_bps` of BestEffort, and return the two
+/// classes' delivered rates over 20 s.
+fn run(ac_bps: f64, be_bps: f64) -> (f64, f64) {
+    const LINK: u64 = 10_000_000;
+    const SHARE: u64 = 3_000_000;
+
+    let mut net = Network::new();
+    let ac_src = net.add_node();
+    let be_src = net.add_node();
+    let router = net.add_node();
+    let dst = net.add_node();
+    let fast = || {
+        Box::new(StrictPrio::admission_queue(
+            Limit::Packets(100_000),
+            false,
+        ))
+    };
+    net.add_link(ac_src, router, 1_000_000_000, SimDuration::from_micros(10), fast(), None);
+    net.add_link(be_src, router, 1_000_000_000, SimDuration::from_micros(10), fast(), None);
+    let qdisc = Box::new(StrictPrio::rate_limited_link(
+        SHARE,
+        Limit::Packets(200),
+        Limit::Packets(200),
+        false,
+        1_500.0,
+    ));
+    let bottleneck = net.add_link(router, dst, LINK, SimDuration::from_millis(5), qdisc, None);
+
+    let mut sim = Sim::new(net);
+    if ac_bps > 0.0 {
+        sim.attach(
+            ac_src,
+            Box::new(Source {
+                peer: dst,
+                class: TrafficClass::Data,
+                rate_bps: ac_bps,
+                pkt: 125,
+                rng: SimRng::new(1),
+                seq: 0,
+            }),
+        );
+    }
+    if be_bps > 0.0 {
+        sim.attach(
+            be_src,
+            Box::new(Source {
+                peer: dst,
+                class: TrafficClass::BestEffort,
+                rate_bps: be_bps,
+                pkt: 1_000,
+                rng: SimRng::new(2),
+                seq: 0,
+            }),
+        );
+    }
+    sim.attach(dst, Box::new(NullSink));
+
+    sim.run_until(SimTime::from_secs(20));
+    let stats = &sim.net.link(bottleneck).stats;
+    let rate = |c: TrafficClass| {
+        stats.class(c).transmitted_bytes.total() as f64 * 8.0 / 20.0
+    };
+    (rate(TrafficClass::Data), rate(TrafficClass::BestEffort))
+}
+
+#[test]
+fn admission_controlled_class_never_exceeds_its_share() {
+    // Offer 6 Mbps of admission-controlled traffic against a 3 Mbps share
+    // on an otherwise idle link: the limiter must clamp it — no borrowing
+    // even when the link has room (the probe-integrity requirement).
+    let (ac, _) = run(6e6, 0.0);
+    assert!(ac <= 3.1e6, "AC took {ac} bps of a 3 Mbps share");
+    assert!(ac >= 2.8e6, "AC should saturate its share, got {ac}");
+}
+
+#[test]
+fn best_effort_soaks_up_the_leftover() {
+    let (ac, be) = run(6e6, 9e6);
+    assert!((2.8e6..=3.1e6).contains(&ac), "AC rate {ac}");
+    // BE gets ~7 Mbps (link minus the AC share).
+    assert!(be >= 6.4e6, "BE rate {be}");
+    assert!(ac + be <= 10.2e6, "combined {}", ac + be);
+}
+
+#[test]
+fn best_effort_cannot_preempt_the_share() {
+    // BE floods at 20 Mbps; AC offers exactly its share. AC must still
+    // get through — strict priority protects it.
+    let (ac, be) = run(2.9e6, 20e6);
+    assert!(ac >= 2.75e6, "AC starved: {ac}");
+    assert!((6.4e6..=7.4e6).contains(&be), "BE {be}");
+}
+
+#[test]
+fn idle_share_is_not_given_away_to_admission_control() {
+    // With no best effort at all, AC is still clamped: the scheduler is
+    // non-work-conserving for the admission-controlled group, leaving
+    // the link idle instead (§2.1.2).
+    let (ac, be) = run(9e6, 0.0);
+    assert!(ac <= 3.1e6, "AC borrowed idle bandwidth: {ac}");
+    assert_eq!(be, 0.0);
+}

@@ -194,7 +194,13 @@ fn bench_end_to_end(c: &mut Criterion) {
                 None,
             );
             let mut sim = Sim::new(net);
-            sim.attach(a, Box::new(Blaster { peer: z, left: 20_000 }));
+            sim.attach(
+                a,
+                Box::new(Blaster {
+                    peer: z,
+                    left: 20_000,
+                }),
+            );
             sim.attach(z, Box::new(Sink));
             sim.run_to_completion();
             black_box(sim.queue.events_fired())

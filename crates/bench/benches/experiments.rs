@@ -36,7 +36,13 @@ fn bench_figures(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 black_box(
-                    short(Design::endpoint(signal, placement, ProbeStyle::SlowStart, 0.01)).run(),
+                    short(Design::endpoint(
+                        signal,
+                        placement,
+                        ProbeStyle::SlowStart,
+                        0.01,
+                    ))
+                    .run(),
                 )
             })
         });
@@ -54,9 +60,14 @@ fn bench_figures(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 black_box(
-                    short(Design::endpoint(Signal::Drop, Placement::InBand, style, 0.01))
-                        .tau(1.0)
-                        .run(),
+                    short(Design::endpoint(
+                        Signal::Drop,
+                        Placement::InBand,
+                        style,
+                        0.01,
+                    ))
+                    .tau(1.0)
+                    .run(),
                 )
             })
         });

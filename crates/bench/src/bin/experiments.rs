@@ -7,11 +7,12 @@
 //!          fig8a fig8b fig8c fig8d fig8e fig8f fig9 fig11
 //!          table3 table4 tables56
 //!          ablate-probe-duration ablate-vq-factor ablate-pushout ablate-buffer ablate-retry
+//!          robust-flap robust-ctrl-loss
 //!          all          (everything above at the chosen fidelity)
 //! ```
 
-use eac_bench::runner::Fidelity;
 use eac_bench::experiments as ex;
+use eac_bench::runner::Fidelity;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,13 +24,16 @@ fn main() {
         .unwrap_or_else(|| {
             eprintln!("usage: experiments <target> [--smoke|--quick|--paper]");
             eprintln!("targets: fig1 fig2 fig3 fig4..fig7 fig8a..fig8f fig9 fig11");
-            eprintln!("         table3 table4 tables56 ablate-* all");
+            eprintln!("         table3 table4 tables56 ablate-* robust-* all");
             std::process::exit(2);
         });
 
     let t0 = std::time::Instant::now();
     run(&target, fid);
-    eprintln!("\n[{target} done in {:.1?} at {fid:?} fidelity]", t0.elapsed());
+    eprintln!(
+        "\n[{target} done in {:.1?} at {fid:?} fidelity]",
+        t0.elapsed()
+    );
 }
 
 fn run(target: &str, fid: Fidelity) {
@@ -57,12 +61,35 @@ fn run(target: &str, fid: Fidelity) {
         "ablate-pushout" => ex::ablate("pushout", fid),
         "ablate-buffer" => ex::ablate("buffer", fid),
         "ablate-retry" => ex::ablate("retry", fid),
+        "robust-flap" => ex::robust_flap(fid),
+        "robust-ctrl-loss" => ex::robust_ctrl_loss(fid),
         "all" => {
             for t in [
-                "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b",
-                "fig8c", "fig8d", "fig8e", "fig8f", "fig9", "table3", "table4", "tables56",
-                "fig11", "ablate-probe-duration", "ablate-vq-factor", "ablate-pushout",
-                "ablate-buffer", "ablate-retry",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8a",
+                "fig8b",
+                "fig8c",
+                "fig8d",
+                "fig8e",
+                "fig8f",
+                "fig9",
+                "table3",
+                "table4",
+                "tables56",
+                "fig11",
+                "ablate-probe-duration",
+                "ablate-vq-factor",
+                "ablate-pushout",
+                "ablate-buffer",
+                "ablate-retry",
+                "robust-flap",
+                "robust-ctrl-loss",
             ] {
                 println!("\n=============== {t} ===============");
                 run(t, fid);

@@ -144,7 +144,13 @@ mod tests {
 
     #[test]
     fn eps_grids_match_section_3_2() {
-        assert_eq!(eps_grid(Placement::InBand), vec![0.0, 0.01, 0.02, 0.03, 0.04, 0.05]);
-        assert_eq!(eps_grid(Placement::OutOfBand), vec![0.0, 0.05, 0.10, 0.15, 0.20]);
+        assert_eq!(
+            eps_grid(Placement::InBand),
+            vec![0.0, 0.01, 0.02, 0.03, 0.04, 0.05]
+        );
+        assert_eq!(
+            eps_grid(Placement::OutOfBand),
+            vec![0.0, 0.05, 0.10, 0.15, 0.20]
+        );
     }
 }

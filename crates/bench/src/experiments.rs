@@ -3,7 +3,7 @@
 
 use crate::catalog::{design, endpoint_designs, eps_grid, fig9_eps, Workload, ETAS_MBAC};
 use crate::output::{fmt_prob, print_table, save_json};
-use crate::runner::{loss_load_curve, Fidelity};
+use crate::runner::{loss_load_curve, run_seeds_isolated, Fidelity};
 use eac::coexist::CoexistScenario;
 use eac::design::{Design, Group};
 use eac::metrics::Report;
@@ -28,7 +28,14 @@ fn curve_rows(label: &str, reports: &[Report]) -> Vec<Vec<String>> {
         .collect()
 }
 
-const CURVE_HEADER: [&str; 6] = ["design", "eps/eta", "utilization", "loss", "blocking", "probe-ovh"];
+const CURVE_HEADER: [&str; 6] = [
+    "design",
+    "eps/eta",
+    "utilization",
+    "loss",
+    "blocking",
+    "probe-ovh",
+];
 
 /// Run the four endpoint designs (each over its ε grid) plus the MBAC η
 /// sweep on `base`, printing one loss-load curve per design.
@@ -64,7 +71,9 @@ pub fn fig1(fid: Fidelity) {
         Fidelity::Quick => (8_000.0, 10),
         Fidelity::Paper => (14_000.0, 30),
     };
-    let xs = [1.0, 1.4, 1.8, 2.0, 2.2, 2.4, 2.6, 2.8, 3.0, 3.2, 3.4, 3.6, 4.0, 5.0];
+    let xs = [
+        1.0, 1.4, 1.8, 2.0, 2.2, 2.4, 2.6, 2.8, 3.0, 3.2, 3.4, 3.6, 4.0, 5.0,
+    ];
     let pts = fluid::fig1_sweep(&xs, horizon, seeds);
     let rows: Vec<Vec<String>> = pts
         .iter()
@@ -77,7 +86,10 @@ pub fn fig1(fid: Fidelity) {
             ]
         })
         .collect();
-    print_table(&["probe-s", "utilization", "loss(in-band)", "E[probing]"], &rows);
+    print_table(
+        &["probe-s", "utilization", "loss(in-band)", "E[probing]"],
+        &rows,
+    );
     let ser: Vec<(f64, f64, f64)> = pts
         .iter()
         .map(|p| (p.mean_probe_s, p.utilization, p.loss_in_band))
@@ -88,7 +100,12 @@ pub fn fig1(fid: Fidelity) {
 /// Fig 2 — the basic scenario's loss-load curves (5 algorithms).
 pub fn fig2(fid: Fidelity) {
     println!("# Fig 2 — basic scenario (EXP1, tau=3.5s, slow-start probing)\n");
-    loss_load_figure("fig2", &Workload::Basic.scenario(), ProbeStyle::SlowStart, fid);
+    loss_load_figure(
+        "fig2",
+        &Workload::Basic.scenario(),
+        ProbeStyle::SlowStart,
+        fid,
+    );
 }
 
 /// Fig 3 — longer probing: 5 s vs 25 s slow-start, in-band dropping.
@@ -164,7 +181,12 @@ pub fn fig8(letter: char, fid: Fidelity) {
         _ => panic!("fig8 takes a..=f"),
     };
     println!("# Fig 8({letter}) — robustness: {}\n", w.name());
-    loss_load_figure(&format!("fig8{letter}"), &w.scenario(), ProbeStyle::SlowStart, fid);
+    loss_load_figure(
+        &format!("fig8{letter}"),
+        &w.scenario(),
+        ProbeStyle::SlowStart,
+        fid,
+    );
 }
 
 /// Fig 9 — loss at a fixed ε across all scenarios, per design.
@@ -215,7 +237,11 @@ pub fn table3(fid: Fidelity) {
             format!("{:.4}", r.groups[0].blocking),
             format!("{:.4}", r.groups[1].blocking),
         ]);
-        ser.push((label.to_string(), r.groups[0].blocking, r.groups[1].blocking));
+        ser.push((
+            label.to_string(),
+            r.groups[0].blocking,
+            r.groups[1].blocking,
+        ));
     }
     print_table(&["design", "low-eps blocking", "high-eps blocking"], &rows);
     save_json("table3", &ser);
@@ -231,14 +257,15 @@ pub fn table4(fid: Fidelity) {
         let s = fid.apply(Workload::Hetero.scenario().design(d));
         let r = run_seeds(&s, &fid.seeds());
         // Groups: EXP1, EXP2, EXP4, POO1. Small = all but EXP2.
-        let small: Vec<&eac::metrics::GroupReport> = r
-            .groups
-            .iter()
-            .filter(|g| g.name != "EXP2")
-            .collect();
+        let small: Vec<&eac::metrics::GroupReport> =
+            r.groups.iter().filter(|g| g.name != "EXP2").collect();
         let dec: u64 = small.iter().map(|g| g.decided).sum();
         let rej: u64 = small.iter().map(|g| g.rejected).sum();
-        let small_b = if dec == 0 { 0.0 } else { rej as f64 / dec as f64 };
+        let small_b = if dec == 0 {
+            0.0
+        } else {
+            rej as f64 / dec as f64
+        };
         let large_b = r.groups[1].blocking;
         rows.push(vec![
             label.clone(),
@@ -249,7 +276,10 @@ pub fn table4(fid: Fidelity) {
     };
     for (label, signal, placement) in endpoint_designs(ProbeStyle::SlowStart) {
         let eps = fig9_eps(placement);
-        run_one(label.to_string(), design(signal, placement, ProbeStyle::SlowStart, eps));
+        run_one(
+            label.to_string(),
+            design(signal, placement, ProbeStyle::SlowStart, eps),
+        );
     }
     run_one("MBAC".to_string(), Design::mbac(0.9));
     print_table(&["design", "small flows", "large flows"], &rows);
@@ -278,8 +308,7 @@ pub fn tables56(fid: Fidelity) {
             })
             .collect();
         let r = Report::average(&reports);
-        let short_loss =
-            (r.groups[0].loss + r.groups[1].loss + r.groups[2].loss) / 3.0;
+        let short_loss = (r.groups[0].loss + r.groups[1].loss + r.groups[2].loss) / 3.0;
         loss_rows.push(vec![
             label.clone(),
             fmt_prob(short_loss),
@@ -297,14 +326,24 @@ pub fn tables56(fid: Fidelity) {
         ser.push(r);
     };
     for (label, signal, placement) in endpoint_designs(ProbeStyle::SlowStart) {
-        run_one(label.to_string(), design(signal, placement, ProbeStyle::SlowStart, 0.0));
+        run_one(
+            label.to_string(),
+            design(signal, placement, ProbeStyle::SlowStart, 0.0),
+        );
     }
     run_one("MBAC".to_string(), Design::mbac(0.9));
     println!("Table 5 — loss probability (short flows averaged over links)");
     print_table(&["design", "short flows", "long flows"], &loss_rows);
     println!("\nTable 6 — blocking probabilities and product approximation");
     print_table(
-        &["design", "short I", "short II", "short III", "long", "product"],
+        &[
+            "design",
+            "short I",
+            "short II",
+            "short III",
+            "long",
+            "product",
+        ],
         &block_rows,
     );
     save_json("tables56", &ser);
@@ -358,7 +397,10 @@ pub fn ablate(which: &str, fid: Fidelity) {
                     format!("{:.4}", r.probe_overhead),
                 ]);
             }
-            print_table(&["probe-s", "utilization", "loss", "blocking", "probe-ovh"], &rows);
+            print_table(
+                &["probe-s", "utilization", "loss", "blocking", "probe-ovh"],
+                &rows,
+            );
         }
         "vq-factor" => {
             println!("# Ablation — virtual-queue rate factor (in-band marking, eps=0.01)\n");
@@ -376,13 +418,21 @@ pub fn ablate(which: &str, fid: Fidelity) {
                     format!("{:.4}", r.mark_fraction),
                 ]);
             }
-            print_table(&["vq-factor", "utilization", "loss", "blocking", "mark-frac"], &rows);
+            print_table(
+                &["vq-factor", "utilization", "loss", "blocking", "mark-frac"],
+                &rows,
+            );
         }
         "pushout" => {
             println!("# Ablation — probe push-out (out-of-band dropping, eps=0.05)\n");
             let mut rows = Vec::new();
             for (label, push) in [("push-out on", true), ("push-out off", false)] {
-                let d = design(Signal::Drop, Placement::OutOfBand, ProbeStyle::SlowStart, 0.05);
+                let d = design(
+                    Signal::Drop,
+                    Placement::OutOfBand,
+                    ProbeStyle::SlowStart,
+                    0.05,
+                );
                 let mut s = fid.apply(Workload::HighLoad.scenario().design(d));
                 s.probe_pushout = push;
                 let r = run_seeds(&s, &fid.seeds());
@@ -424,6 +474,7 @@ pub fn ablate(which: &str, fid: Fidelity) {
                     Some(eac::host::RetryPolicy {
                         max_attempts: 3,
                         base_backoff: simcore::SimDuration::from_secs(5),
+                        max_backoff: simcore::SimDuration::from_secs(60),
                     }),
                 ),
                 (
@@ -431,6 +482,7 @@ pub fn ablate(which: &str, fid: Fidelity) {
                     Some(eac::host::RetryPolicy {
                         max_attempts: 5,
                         base_backoff: simcore::SimDuration::from_secs(10),
+                        max_backoff: simcore::SimDuration::from_secs(120),
                     }),
                 ),
             ] {
@@ -455,4 +507,152 @@ pub fn ablate(which: &str, fid: Fidelity) {
             eprintln!("unknown ablation '{other}' (probe-duration, vq-factor, pushout, buffer)");
         }
     }
+}
+
+/// robust-flap — the Fig 2 loss-load point under a flapping bottleneck.
+///
+/// Two scheduled link outages (~2% of the measured interval each) hit the
+/// bottleneck mid-run. Packets on the wire die, routes recompute, and every
+/// control packet caught in the outage is resolved by the hosts' verdict
+/// timeout instead of stranding the flow. The conservation audit and event
+/// budget run on every seed; seeds are isolated so one pathological run
+/// cannot take down the sweep.
+pub fn robust_flap(fid: Fidelity) {
+    println!("# robust-flap — in-band dropping under a flapping bottleneck");
+    println!("# (5 s verdict timeout; packet-conservation audit on every seed)\n");
+    let (h, w) = fid.lengths();
+    let measured = h - w;
+    let flaps = [
+        (w + 0.25 * measured, w + 0.27 * measured),
+        (w + 0.60 * measured, w + 0.62 * measured),
+    ];
+    let mut rows = Vec::new();
+    let mut ser: Vec<Report> = Vec::new();
+    for eps in [0.01, 0.05] {
+        for (label, flapping) in [("steady", false), ("flapping", true)] {
+            let d = design(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, eps);
+            let mut s = fid
+                .apply(Workload::Basic.scenario().design(d))
+                .verdict_timeout(5.0)
+                .audited()
+                .event_budget(2_000_000_000);
+            if flapping {
+                for &(down, up) in &flaps {
+                    s = s.flap(down, up);
+                }
+            }
+            let (avg, outcomes) = run_seeds_isolated(&s, &fid.seeds());
+            let ok = outcomes.iter().filter(|o| o.is_ok()).count();
+            match avg {
+                Ok(mut r) => {
+                    rows.push(vec![
+                        label.to_string(),
+                        format!("{eps:.2}"),
+                        format!("{:.4}", r.utilization),
+                        fmt_prob(r.data_loss),
+                        format!("{:.4}", r.blocking),
+                        format!("{}", r.timeouts),
+                        format!("{}", r.leaked_flows),
+                        format!("{ok}/{}", outcomes.len()),
+                    ]);
+                    r.design = format!("{label} / {}", r.design);
+                    ser.push(r);
+                }
+                Err(e) => {
+                    rows.push(vec![
+                        label.to_string(),
+                        format!("{eps:.2}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("{ok}/{}: {e}", outcomes.len()),
+                    ]);
+                }
+            }
+        }
+    }
+    print_table(
+        &[
+            "variant",
+            "eps",
+            "utilization",
+            "loss",
+            "blocking",
+            "timeouts",
+            "leaked",
+            "seeds-ok",
+        ],
+        &rows,
+    );
+    save_json("robust-flap", &ser);
+}
+
+/// robust-ctrl-loss — lossy control channel, with and without the verdict
+/// timeout.
+///
+/// Bernoulli loss is applied to TrafficClass::Control on both directions of
+/// the bottleneck path. With the timeout, a lost Accept/Reject resolves as
+/// a counted rejection and blocking stays bounded; without it, flows strand
+/// in AwaitDecision and show up as leaked per-flow state.
+pub fn robust_ctrl_loss(fid: Fidelity) {
+    println!("# robust-ctrl-loss — Bernoulli loss on the control channel");
+    println!("# (in-band dropping, eps=0.01; audit + event budget on every seed)\n");
+    let mut rows = Vec::new();
+    let mut ser: Vec<Report> = Vec::new();
+    for p in [0.0, 0.05, 0.1, 0.2] {
+        for (label, timeout) in [("timeout 5s", Some(5.0)), ("no timeout", None)] {
+            let d = design(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.01);
+            let mut s = fid
+                .apply(Workload::Basic.scenario().design(d))
+                .control_loss(p)
+                .audited()
+                .event_budget(2_000_000_000);
+            if let Some(t) = timeout {
+                s = s.verdict_timeout(t);
+            }
+            let (avg, outcomes) = run_seeds_isolated(&s, &fid.seeds());
+            let ok = outcomes.iter().filter(|o| o.is_ok()).count();
+            match avg {
+                Ok(mut r) => {
+                    rows.push(vec![
+                        format!("{p:.2}"),
+                        label.to_string(),
+                        format!("{:.4}", r.utilization),
+                        format!("{:.4}", r.blocking),
+                        format!("{}", r.timeouts),
+                        format!("{}", r.leaked_flows),
+                        format!("{ok}/{}", outcomes.len()),
+                    ]);
+                    r.design = format!("ctrl-loss {p:.2} / {label}");
+                    ser.push(r);
+                }
+                Err(e) => {
+                    rows.push(vec![
+                        format!("{p:.2}"),
+                        label.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("{ok}/{}: {e}", outcomes.len()),
+                    ]);
+                }
+            }
+        }
+    }
+    print_table(
+        &[
+            "ctrl-loss",
+            "variant",
+            "utilization",
+            "blocking",
+            "timeouts",
+            "leaked",
+            "seeds-ok",
+        ],
+        &rows,
+    );
+    save_json("robust-ctrl-loss", &ser);
 }

@@ -13,4 +13,4 @@ pub mod runner;
 
 pub use catalog::{Workload, EPS_IN_BAND, EPS_OUT_OF_BAND, ETAS_MBAC};
 pub use output::{print_table, save_json};
-pub use runner::{loss_load_curve, Fidelity};
+pub use runner::{loss_load_curve, run_seeds_isolated, Fidelity, SeedOutcome};

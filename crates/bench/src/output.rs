@@ -25,22 +25,19 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
         println!("{}", s.trim_end());
     };
     line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }
 }
 
-/// Serialize `value` to `results/<id>.json` (creating the directory).
+/// Serialize `value` to `<dir>/<id>.json` (creating the directory).
+/// The directory is `$EAC_RESULTS_DIR` when set, else `results/`.
 pub fn save_json<T: Serialize>(id: &str, value: &T) {
-    let dir = Path::new("results");
+    let dir = std::env::var("EAC_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = Path::new(&dir);
     if let Err(e) = fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create results/: {e}");
+        eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{id}.json"));

@@ -3,6 +3,7 @@
 use eac::design::Design;
 use eac::metrics::Report;
 use eac::scenario::{run_seeds, Scenario};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How long and how many seeds to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,6 +66,87 @@ pub fn loss_load_curve(base: &Scenario, designs: &[Design], fid: Fidelity) -> Ve
         .collect()
 }
 
+/// What happened to one seed of an isolated multi-seed run.
+#[derive(Clone, Debug)]
+pub enum SeedOutcome {
+    /// The seed ran to completion.
+    Ok { seed: u64 },
+    /// The run returned a graceful error (audit failure, event budget,
+    /// time regression).
+    Error { seed: u64, message: String },
+    /// The run panicked; the panic was contained to this seed.
+    Panic { seed: u64, message: String },
+}
+
+impl SeedOutcome {
+    /// The seed this outcome belongs to.
+    pub fn seed(&self) -> u64 {
+        match self {
+            SeedOutcome::Ok { seed }
+            | SeedOutcome::Error { seed, .. }
+            | SeedOutcome::Panic { seed, .. } => *seed,
+        }
+    }
+
+    /// Whether the seed completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, SeedOutcome::Ok { .. })
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Run `base` once per seed with each seed isolated: a panic or graceful
+/// error in one seed is recorded and does not take down the sweep. Returns
+/// the average report over surviving seeds (Err if none survived) plus the
+/// per-seed outcomes.
+pub fn run_seeds_isolated(
+    base: &Scenario,
+    seeds: &[u64],
+) -> (Result<Report, String>, Vec<SeedOutcome>) {
+    let mut reports = Vec::new();
+    let mut outcomes = Vec::new();
+    for &seed in seeds {
+        let s = base.clone().seed(seed);
+        match catch_unwind(AssertUnwindSafe(|| s.try_run())) {
+            Ok(Ok(report)) => {
+                reports.push(report);
+                outcomes.push(SeedOutcome::Ok { seed });
+            }
+            Ok(Err(e)) => outcomes.push(SeedOutcome::Error {
+                seed,
+                message: e.to_string(),
+            }),
+            Err(payload) => outcomes.push(SeedOutcome::Panic {
+                seed,
+                message: panic_message(payload),
+            }),
+        }
+    }
+    let avg = if reports.is_empty() {
+        let detail: Vec<String> = outcomes
+            .iter()
+            .map(|o| match o {
+                SeedOutcome::Ok { seed } => format!("seed {seed}: ok"),
+                SeedOutcome::Error { seed, message } => format!("seed {seed}: error: {message}"),
+                SeedOutcome::Panic { seed, message } => format!("seed {seed}: panic: {message}"),
+            })
+            .collect();
+        Err(format!("no seed survived ({})", detail.join("; ")))
+    } else {
+        Ok(Report::average(&reports))
+    };
+    (avg, outcomes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +173,38 @@ mod tests {
         let reports = loss_load_curve(&base, &designs, Fidelity::Smoke);
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().all(|r| r.measured_s > 0.0));
+    }
+
+    #[test]
+    fn isolated_runner_averages_surviving_seeds() {
+        let base = Scenario::basic().horizon_secs(400.0).warmup_secs(100.0);
+        let (avg, outcomes) = run_seeds_isolated(&base, &[1, 2]);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert_eq!(outcomes.len(), 2);
+        assert!(avg.unwrap().measured_s > 0.0);
+    }
+
+    #[test]
+    fn isolated_runner_turns_budget_errors_into_outcomes() {
+        let base = Scenario::basic()
+            .horizon_secs(400.0)
+            .warmup_secs(100.0)
+            .event_budget(50);
+        let (avg, outcomes) = run_seeds_isolated(&base, &[1, 2]);
+        assert!(avg.is_err());
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, SeedOutcome::Error { .. })));
+    }
+
+    #[test]
+    fn isolated_runner_contains_panics() {
+        // warmup >= horizon trips an assert inside try_run; the panic must
+        // stay confined to its seed.
+        let bad = Scenario::basic().horizon_secs(100.0).warmup_secs(100.0);
+        let (avg, outcomes) = run_seeds_isolated(&bad, &[7]);
+        assert!(avg.is_err());
+        assert!(matches!(outcomes[0], SeedOutcome::Panic { .. }));
+        assert_eq!(outcomes[0].seed(), 7);
     }
 }

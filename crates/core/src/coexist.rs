@@ -25,8 +25,8 @@ use netsim::{
 use serde::Serialize;
 use simcore::{SimDuration, SimRng, SimTime};
 use std::any::Any;
-use traffic::{Demography, SourceSpec};
 use tcpsim::{TcpSenderBank, TcpSinkBank};
+use traffic::{Demography, SourceSpec};
 
 /// Samples per-class throughput on one link at a fixed interval.
 pub struct LinkSampler {
@@ -231,6 +231,7 @@ impl CoexistScenario {
             stop_arrivals_at: horizon,
             start_arrivals_at: eac_start,
             retry: None,
+            verdict_timeout: None,
             measure_start: SimTime::ZERO,
             measure_end: horizon,
         };
@@ -252,6 +253,7 @@ impl CoexistScenario {
             signal: Signal::Drop,
             eps_per_group: vec![self.epsilon],
             grace: stage_grace(buffer_bytes, self.link_bps, prop),
+            flow_ttl: SimDuration::from_secs(70),
         };
         sim.attach(
             dst,

@@ -35,6 +35,8 @@ pub mod timer {
     pub const END: u32 = 4;
     /// Retry a rejected flow (`data` = group | attempt << 32).
     pub const RETRY: u32 = 5;
+    /// The verdict for flow `data` never arrived (lost control packet).
+    pub const VERDICT: u32 = 6;
 }
 
 /// Retry policy for rejected flows (footnote 10 of the paper: "rejected
@@ -46,6 +48,9 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
     /// First back-off; doubles per attempt.
     pub base_backoff: SimDuration,
+    /// Back-off ceiling: doubling saturates here instead of growing (and
+    /// overflowing) without bound.
+    pub max_backoff: SimDuration,
 }
 
 /// Size of control packets, bytes.
@@ -73,6 +78,11 @@ pub struct HostConfig {
     /// Rejected-flow retry with exponential back-off (None = the paper's
     /// default of no retries).
     pub retry: Option<RetryPolicy>,
+    /// How long after the last probe to wait for the sink's verdict
+    /// before treating the flow as rejected (a lost `Accept`/`Reject`
+    /// control packet must not block the flow forever). `None` = wait
+    /// forever (the paper's lossless-control idealisation).
+    pub verdict_timeout: Option<SimDuration>,
     /// Measurement window: only events in `[measure_start, measure_end)`
     /// are counted, and data packets are tagged so the sink applies the
     /// same window — making sent/received loss accounting exact once the
@@ -102,6 +112,10 @@ pub struct HostStats {
     pub policer_drops: Counter,
     /// Retry attempts launched (retry extension).
     pub retries: Counter,
+    /// Flows whose verdict never arrived and timed out into rejection.
+    pub timeouts: Counter,
+    /// Timer events of an unknown kind (counted and ignored).
+    pub stray_timers: Counter,
 }
 
 impl HostStats {
@@ -116,6 +130,8 @@ impl HostStats {
             probe_sent: Counter::new(),
             policer_drops: Counter::new(),
             retries: Counter::new(),
+            timeouts: Counter::new(),
+            stray_timers: Counter::new(),
         }
     }
 
@@ -135,6 +151,8 @@ impl HostStats {
         self.probe_sent.mark();
         self.policer_drops.mark();
         self.retries.mark();
+        self.timeouts.mark();
+        self.stray_timers.mark();
     }
 
     /// Blocking probability over all groups since the mark.
@@ -232,6 +250,16 @@ impl HostAgent {
         &self.eps
     }
 
+    /// Flows stuck waiting for a verdict right now. Nonzero at the end of
+    /// a run means lost control packets stranded per-flow state (enable
+    /// [`HostConfig::verdict_timeout`] to bound it).
+    pub fn stranded_flows(&self) -> usize {
+        self.flows
+            .values()
+            .filter(|f| f.phase == Phase::AwaitDecision)
+            .count()
+    }
+
     fn in_window(&self, now: SimTime) -> bool {
         now >= self.cfg.measure_start && now < self.cfg.measure_end
     }
@@ -267,7 +295,8 @@ impl HostAgent {
         let spec = &self.cfg.groups[group].source;
         let r_bps = spec.token_rate_bps();
         let pkt_bytes = spec.pkt_bytes;
-        let lifetime = SimDuration::from_secs_f64(self.cfg.demography.sample_lifetime(&mut self.rng));
+        let lifetime =
+            SimDuration::from_secs_f64(self.cfg.demography.sample_lifetime(&mut self.rng));
 
         match self.cfg.design {
             Design::Mbac { .. } => {
@@ -398,11 +427,20 @@ impl HostAgent {
             };
             if is_final {
                 flow.phase = Phase::AwaitDecision;
+                // A lost verdict must not strand the flow: resolve as a
+                // rejection after the timeout (feeding the back-off path).
+                if let Some(timeout) = self.cfg.verdict_timeout {
+                    api.timer_in(timeout, timer::VERDICT, id);
+                }
             } else {
                 flow.stage += 1;
                 flow.sent_in_stage = 0;
-                flow.stage_pkts = flow.plan.stage_packets(flow.stage, flow.r_bps, flow.pkt_bytes);
-                flow.spacing = flow.plan.stage_spacing(flow.stage, flow.r_bps, flow.pkt_bytes);
+                flow.stage_pkts = flow
+                    .plan
+                    .stage_packets(flow.stage, flow.r_bps, flow.pkt_bytes);
+                flow.spacing = flow
+                    .plan
+                    .stage_spacing(flow.stage, flow.r_bps, flow.pkt_bytes);
                 let spacing = flow.spacing;
                 api.timer_in(spacing, timer::PROBE, id);
             }
@@ -496,13 +534,41 @@ impl HostAgent {
             return;
         }
         // Back-off doubles per attempt, with ±25% jitter to avoid
-        // synchronised retry storms.
-        let backoff = policy.base_backoff * (1u64 << attempt.min(16));
+        // synchronised retry storms. Saturating arithmetic plus the
+        // policy's ceiling keep large attempt counts well-defined.
+        let backoff = backoff_for(policy, attempt);
         let jitter = self.rng.uniform_range(0.75, 1.25);
         let delay = SimDuration::from_secs_f64(backoff.as_secs_f64() * jitter);
         self.stats.retries.inc();
-        api.timer_in(delay, timer::RETRY, group as u64 | ((attempt as u64 + 1) << 32));
+        api.timer_in(
+            delay,
+            timer::RETRY,
+            group as u64 | ((attempt as u64 + 1) << 32),
+        );
     }
+
+    /// The verdict for `id` never arrived: resolve as a rejection.
+    fn on_verdict_timeout(&mut self, id: u64, api: &mut Api) {
+        let Some(flow) = self.flows.get(&id) else {
+            return; // verdict arrived after all; stale timer
+        };
+        if flow.phase != Phase::AwaitDecision {
+            return; // decided in the meantime
+        }
+        self.stats.timeouts.inc();
+        self.on_decision(id, false, api);
+    }
+}
+
+/// The (un-jittered) back-off before retry `attempt`: `base · 2^attempt`,
+/// saturating, clamped to the policy ceiling. Defined as a free function
+/// so the overflow boundary is unit-testable without an agent.
+fn backoff_for(policy: RetryPolicy, attempt: u32) -> SimDuration {
+    let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+    policy
+        .base_backoff
+        .saturating_mul(factor)
+        .min(policy.max_backoff)
 }
 
 impl Agent for HostAgent {
@@ -543,11 +609,55 @@ impl Agent for HostAgent {
                 let attempt = (data >> 32) as u32;
                 self.begin_flow_for(group, attempt, api);
             }
-            _ => unreachable!("unknown host timer {kind}"),
+            timer::VERDICT => self.on_verdict_timeout(data, api),
+            // An unknown timer kind is a wiring bug elsewhere, but
+            // aborting a long run over it helps nobody: count and ignore.
+            _ => self.stats.stray_timers.inc(),
         }
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(base_s: u64, max_s: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 100,
+            base_backoff: SimDuration::from_secs(base_s),
+            max_backoff: SimDuration::from_secs(max_s),
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_until_cap() {
+        let p = policy(5, 60);
+        assert_eq!(backoff_for(p, 0), SimDuration::from_secs(5));
+        assert_eq!(backoff_for(p, 1), SimDuration::from_secs(10));
+        assert_eq!(backoff_for(p, 2), SimDuration::from_secs(20));
+        assert_eq!(backoff_for(p, 3), SimDuration::from_secs(40));
+        assert_eq!(backoff_for(p, 4), SimDuration::from_secs(60)); // capped
+        assert_eq!(backoff_for(p, 5), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        // 5 s · 2^63 overflows u64 nanoseconds; 2^64 overflows the shift
+        // itself. Both must clamp to the ceiling, not wrap or panic.
+        let p = policy(5, 3600);
+        assert_eq!(backoff_for(p, 63), SimDuration::from_secs(3600));
+        assert_eq!(backoff_for(p, 64), SimDuration::from_secs(3600));
+        assert_eq!(backoff_for(p, u32::MAX), SimDuration::from_secs(3600));
+        // Without a finite cap the saturated product is still well-defined.
+        let unbounded = RetryPolicy {
+            max_attempts: 100,
+            base_backoff: SimDuration::from_secs(5),
+            max_backoff: SimDuration::MAX,
+        };
+        assert_eq!(backoff_for(unbounded, 64), SimDuration::MAX);
     }
 }

@@ -30,15 +30,15 @@ pub mod design;
 pub mod host;
 pub mod mbac;
 pub mod metrics;
-pub mod multihop;
 pub mod msg;
+pub mod multihop;
 pub mod probe;
 pub mod scenario;
 pub mod sink;
 
+pub use coexist::{CoexistReport, CoexistScenario};
 pub use design::{Design, Group};
 pub use metrics::{GroupReport, Report};
-pub use probe::{Placement, ProbePlan, ProbeStyle, Signal, Stage};
-pub use coexist::{CoexistReport, CoexistScenario};
 pub use multihop::MultihopScenario;
+pub use probe::{Placement, ProbePlan, ProbeStyle, Signal, Stage};
 pub use scenario::{run_seeds, Scenario};

@@ -58,6 +58,14 @@ pub struct Report {
     pub groups: Vec<GroupReport>,
     /// Per-bottleneck-link data utilization (multi-hop scenarios).
     pub link_utils: Vec<f64>,
+    /// Flows whose verdict never arrived and timed out into rejection
+    /// (lost-control-packet resilience; zero in a fault-free run).
+    pub timeouts: u64,
+    /// Per-flow records still stranded at the end of the run: host flows
+    /// stuck awaiting a verdict plus undecided sink records. With the
+    /// verdict timeout and sink TTL enabled this should be ~zero even
+    /// under faults.
+    pub leaked_flows: u64,
     /// Measurement interval, seconds (horizon − warm-up).
     pub measured_s: f64,
     /// RNG seed.
@@ -80,6 +88,8 @@ impl Report {
         out.mark_fraction = mean(|r| r.mark_fraction);
         out.delay_ms_mean = mean(|r| r.delay_ms_mean);
         out.delay_ms_std = mean(|r| r.delay_ms_std);
+        out.timeouts = reports.iter().map(|r| r.timeouts).sum();
+        out.leaked_flows = reports.iter().map(|r| r.leaked_flows).sum();
         for (i, lu) in out.link_utils.iter_mut().enumerate() {
             *lu = reports.iter().map(|r| r.link_utils[i]).sum::<f64>() / n;
         }
@@ -131,6 +141,8 @@ mod tests {
                 loss: 0.01,
             }],
             link_utils: vec![util],
+            timeouts: 0,
+            leaked_flows: 0,
             measured_s: 100.0,
             seed: 1,
         }

@@ -23,7 +23,9 @@ use crate::metrics::{GroupReport, Report};
 use crate::probe::{Placement, Signal};
 use crate::scenario::MeterAgent;
 use crate::sink::{stage_grace, SinkAgent, SinkConfig};
-use netsim::{DropTail, Limit, LinkId, Network, NodeId, Sim, StrictPrio, TrafficClass, VirtualQueue};
+use netsim::{
+    DropTail, Limit, LinkId, Network, NodeId, Sim, StrictPrio, TrafficClass, VirtualQueue,
+};
 use simcore::{SimDuration, SimRng, SimTime};
 use traffic::{Demography, SourceSpec};
 
@@ -132,6 +134,19 @@ impl MultihopScenario {
     /// `cross-0`, `cross-1`, `cross-2`, `long` (in that order), with
     /// `link_utils` holding the three backbone utilizations.
     pub fn run(&self) -> Report {
+        match self.run_inner(false) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`run`](Self::run), but check packet conservation over the
+    /// whole 13-node topology before reporting.
+    pub fn run_audited(&self) -> Result<Report, netsim::AuditError> {
+        self.run_inner(true)
+    }
+
+    fn run_inner(&self, audit: bool) -> Result<Report, netsim::AuditError> {
         let root = SimRng::new(self.seed);
         let prop = SimDuration::from_secs_f64(self.prop_delay_ms / 1_000.0);
         let fast = |n: &mut Network, a: NodeId, b: NodeId| {
@@ -246,6 +261,7 @@ impl MultihopScenario {
                 stop_arrivals_at: horizon,
                 start_arrivals_at: SimTime::ZERO,
                 retry: None,
+                verdict_timeout: None,
                 measure_start: warmup,
                 measure_end: horizon,
             }
@@ -255,11 +271,15 @@ impl MultihopScenario {
         for i in 0..3 {
             let cfg = mk_host(cross_sinks[i], self.tau_cross_s, i, vec![backbone[i]]);
             let stream = 10 + i as u64;
-            sim.attach(cross_hosts[i], Box::new(HostAgent::new(cfg, root.derive(stream))));
+            sim.attach(
+                cross_hosts[i],
+                Box::new(HostAgent::new(cfg, root.derive(stream))),
+            );
             let sink_cfg = SinkConfig {
                 signal: self.design.signal(),
                 eps_per_group: eps4.clone(),
                 grace,
+                flow_ttl: SimDuration::from_secs_f64(self.probe_total_s * 2.0 + 60.0),
             };
             sim.attach(cross_sinks[i], Box::new(SinkAgent::new(sink_cfg)));
         }
@@ -272,6 +292,7 @@ impl MultihopScenario {
                 signal: self.design.signal(),
                 eps_per_group: eps4,
                 grace,
+                flow_ttl: SimDuration::from_secs_f64(self.probe_total_s * 2.0 + 60.0),
             })),
         );
 
@@ -348,12 +369,25 @@ impl MultihopScenario {
         let total_recv: u64 = groups.iter().map(|g| g.data_received).sum();
         let total_dec: u64 = groups.iter().map(|g| g.decided).sum();
         let total_rej: u64 = groups.iter().map(|g| g.rejected).sum();
+        let mut timeouts = 0u64;
+        let mut leaked_flows = 0u64;
+        for gi in 0..4 {
+            let h = sim.agent::<HostAgent>(hosts[gi]).expect("host");
+            timeouts += h.stats.timeouts.since_mark();
+            leaked_flows += h.stranded_flows() as u64;
+            let s = sim.agent::<SinkAgent>(sinks[gi]).expect("sink");
+            leaked_flows += s.undecided_flows() as u64;
+        }
         let param = match self.design {
             Design::Endpoint { epsilon, .. } => epsilon,
             Design::Mbac { eta } => eta,
         };
 
-        Report {
+        if audit {
+            sim.check_conservation()?;
+        }
+
+        Ok(Report {
             design: self.design.name(),
             param,
             utilization: link_utils.iter().sum::<f64>() / link_utils.len() as f64,
@@ -374,9 +408,11 @@ impl MultihopScenario {
             delay_ms_std: 0.0,
             groups,
             link_utils,
+            timeouts,
+            leaked_flows,
             measured_s: measured.as_secs_f64(),
             seed: self.seed,
-        }
+        })
     }
 }
 

@@ -175,8 +175,14 @@ mod tests {
     fn slow_start_ladder() {
         let p = ProbePlan::new(ProbeStyle::SlowStart, FIVE_S);
         let fracs: Vec<f64> = p.stages.iter().map(|s| s.rate_frac).collect();
-        assert_eq!(fracs, vec![1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0]);
-        assert!(p.stages.iter().all(|s| s.duration == SimDuration::from_secs(1)));
+        assert_eq!(
+            fracs,
+            vec![1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0]
+        );
+        assert!(p
+            .stages
+            .iter()
+            .all(|s| s.duration == SimDuration::from_secs(1)));
         assert!(!p.in_flight_abort);
     }
 

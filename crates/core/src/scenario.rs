@@ -16,8 +16,8 @@ use crate::metrics::{GroupReport, Report};
 use crate::probe::{Placement, Signal};
 use crate::sink::{stage_grace, SinkAgent, SinkConfig};
 use netsim::{
-    Agent, Api, DropTail, Limit, Network, NodeId, Packet, Sim, StrictPrio, TrafficClass,
-    VirtualQueue,
+    Agent, Api, AuditError, DropTail, FaultPlan, Impairment, Limit, Network, NodeId, Packet,
+    RunError, Sim, StrictPrio, TrafficClass, VirtualQueue,
 };
 use simcore::{SimDuration, SimRng, SimTime};
 use std::any::Any;
@@ -47,6 +47,38 @@ impl Agent for MeterAgent {
 
     fn as_any(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// Why a scenario run stopped without a report.
+#[derive(Clone, Debug)]
+pub enum ScenarioError {
+    /// The run loop aborted (event budget, time regression).
+    Run(RunError),
+    /// The packet-conservation audit failed.
+    Audit(AuditError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Run(e) => write!(f, "run aborted: {e}"),
+            ScenarioError::Audit(e) => write!(f, "audit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<RunError> for ScenarioError {
+    fn from(e: RunError) -> Self {
+        ScenarioError::Run(e)
+    }
+}
+
+impl From<AuditError> for ScenarioError {
+    fn from(e: AuditError) -> Self {
+        ScenarioError::Audit(e)
     }
 }
 
@@ -87,6 +119,20 @@ pub struct Scenario {
     pub warmup_s: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Bernoulli loss applied to *control* packets on both directions of
+    /// the bottleneck path (robustness extension; 0 = the paper's
+    /// lossless-signalling idealisation).
+    pub control_loss: f64,
+    /// Scheduled bottleneck outages, as `(down_s, up_s)` windows.
+    pub flaps_s: Vec<(f64, f64)>,
+    /// Host-side verdict timeout, seconds (lost verdicts resolve as
+    /// rejections after this long). `None` = wait forever.
+    pub verdict_timeout_s: Option<f64>,
+    /// Verify packet conservation after the run (cheap; returns an error
+    /// from [`Scenario::try_run`] on violation).
+    pub audit: bool,
+    /// Cap on total simulation events (event-storm watchdog).
+    pub event_budget: Option<u64>,
 }
 
 impl Scenario {
@@ -117,6 +163,11 @@ impl Scenario {
             horizon_s: 3_000.0,
             warmup_s: 500.0,
             seed: 1,
+            control_loss: 0.0,
+            flaps_s: Vec::new(),
+            verdict_timeout_s: None,
+            audit: false,
+            event_budget: None,
         }
     }
 
@@ -178,13 +229,61 @@ impl Scenario {
         self
     }
 
-    /// Largest packet size among the groups (sizes the buffer in bytes).
-    fn max_pkt_bytes(&self) -> u32 {
-        self.groups.iter().map(|g| g.source.pkt_bytes).max().unwrap_or(125)
+    /// Lose this fraction of control packets (both directions).
+    pub fn control_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.control_loss = p;
+        self
     }
 
-    /// Build and run the simulation, producing a [`Report`].
+    /// Add a bottleneck outage window.
+    pub fn flap(mut self, down_s: f64, up_s: f64) -> Self {
+        assert!(down_s < up_s);
+        self.flaps_s.push((down_s, up_s));
+        self
+    }
+
+    /// Resolve missing verdicts as rejections after this many seconds.
+    pub fn verdict_timeout(mut self, s: f64) -> Self {
+        assert!(s > 0.0);
+        self.verdict_timeout_s = Some(s);
+        self
+    }
+
+    /// Enable the packet-conservation audit.
+    pub fn audited(mut self) -> Self {
+        self.audit = true;
+        self
+    }
+
+    /// Cap total simulation events (event-storm watchdog).
+    pub fn event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = Some(budget);
+        self
+    }
+
+    /// Largest packet size among the groups (sizes the buffer in bytes).
+    fn max_pkt_bytes(&self) -> u32 {
+        self.groups
+            .iter()
+            .map(|g| g.source.pkt_bytes)
+            .max()
+            .unwrap_or(125)
+    }
+
+    /// Build and run the simulation, producing a [`Report`]. Panics on a
+    /// [`ScenarioError`]; use [`try_run`](Scenario::try_run) where faults
+    /// or watchdogs are configured and a graceful error is wanted.
     pub fn run(&self) -> Report {
+        match self.try_run() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build and run the simulation, producing a [`Report`] or a graceful
+    /// error (exhausted event budget, failed conservation audit).
+    pub fn try_run(&self) -> Result<Report, ScenarioError> {
         assert!(self.warmup_s < self.horizon_s);
         let root = SimRng::new(self.seed);
 
@@ -212,7 +311,7 @@ impl Scenario {
         let prop = SimDuration::from_secs_f64(self.prop_delay_ms / 1_000.0);
         let bottleneck = net.add_link(host_n, sink_n, self.link_bps, prop, qdisc, marker);
         // Reverse path for verdicts: fast and uncongested.
-        net.add_link(
+        let reverse = net.add_link(
             sink_n,
             host_n,
             1_000_000_000,
@@ -242,17 +341,19 @@ impl Scenario {
 
         let horizon = SimTime::from_secs_f64(self.horizon_s);
         let warmup = SimTime::from_secs_f64(self.warmup_s);
+        let probe_total = SimDuration::from_secs_f64(self.probe_total_s);
 
         let host_cfg = HostConfig {
             sink: sink_n,
             design: self.design,
             groups: self.groups.clone(),
             demography: Demography::new(self.tau_s, self.lifetime_s),
-            probe_total: SimDuration::from_secs_f64(self.probe_total_s),
+            probe_total,
             mbac_path: vec![bottleneck],
             stop_arrivals_at: horizon,
             start_arrivals_at: SimTime::ZERO,
             retry: self.retry,
+            verdict_timeout: self.verdict_timeout_s.map(SimDuration::from_secs_f64),
             measure_start: warmup,
             measure_end: horizon,
         };
@@ -263,24 +364,66 @@ impl Scenario {
             signal: self.design.signal(),
             eps_per_group: effective_epsilons(&self.design, &self.groups),
             grace: stage_grace(buffer_bytes, self.link_bps, prop),
+            flow_ttl: probe_total * 2 + SimDuration::from_secs(60),
         };
         sim.attach(sink_n, Box::new(SinkAgent::new(sink_cfg)));
+
+        // Fault plan: control-packet loss on both directions of the
+        // bottleneck path, plus any scheduled outages. The plan gets its
+        // own derived RNG stream so enabling faults never perturbs the
+        // traffic models' draws.
+        let mut plan = FaultPlan::new();
+        if self.control_loss > 0.0 {
+            plan = plan
+                .impair(Impairment::loss(
+                    bottleneck,
+                    Some(TrafficClass::Control),
+                    self.control_loss,
+                ))
+                .impair(Impairment::loss(
+                    reverse,
+                    Some(TrafficClass::Control),
+                    self.control_loss,
+                ));
+        }
+        for &(down_s, up_s) in &self.flaps_s {
+            plan = plan.flap(
+                bottleneck,
+                SimTime::from_secs_f64(down_s),
+                SimTime::from_secs_f64(up_s),
+            );
+        }
+        if !plan.is_empty() {
+            sim.install_faults(plan, root.derive(99));
+        }
+        if let Some(budget) = self.event_budget {
+            sim.set_event_budget(budget);
+        }
 
         // Warm up, snapshot, measure, then drain so every in-window data
         // packet has either arrived or been dropped before counters are
         // read (exact loss accounting).
-        sim.run_until(warmup);
+        sim.try_run_until(warmup)?;
         for l in sim.net.links_mut() {
             l.stats.mark_all();
         }
-        sim.agent::<HostAgent>(host_n).expect("host").stats.mark_all();
-        sim.agent::<SinkAgent>(sink_n).expect("sink").stats.mark_all();
-        sim.run_until(horizon);
+        sim.agent::<HostAgent>(host_n)
+            .expect("host")
+            .stats
+            .mark_all();
+        sim.agent::<SinkAgent>(sink_n)
+            .expect("sink")
+            .stats
+            .mark_all();
+        sim.try_run_until(horizon)?;
         // Link-level metrics are read at the horizon, before the drain.
         let link_metrics = self.read_link_metrics(&sim, bottleneck);
-        sim.run_until(horizon + SimDuration::from_secs(5));
+        sim.try_run_until(horizon + SimDuration::from_secs(5))?;
 
-        self.collect(&mut sim, host_n, sink_n, link_metrics)
+        if self.audit {
+            sim.check_conservation()?;
+        }
+        Ok(self.collect(&mut sim, host_n, sink_n, link_metrics))
     }
 
     fn read_link_metrics(&self, sim: &Sim, bottleneck: netsim::LinkId) -> (f64, f64, f64, f64) {
@@ -288,8 +431,14 @@ impl Scenario {
         let stats = &sim.net.link(bottleneck).stats;
         let util = stats.utilization(TrafficClass::Data, self.link_bps, measured);
         let loss = stats.drop_fraction(TrafficClass::Data);
-        let data_b = stats.class(TrafficClass::Data).transmitted_bytes.since_mark();
-        let probe_b = stats.class(TrafficClass::Probe).transmitted_bytes.since_mark();
+        let data_b = stats
+            .class(TrafficClass::Data)
+            .transmitted_bytes
+            .since_mark();
+        let probe_b = stats
+            .class(TrafficClass::Probe)
+            .transmitted_bytes
+            .since_mark();
         let overhead = if data_b + probe_b == 0 {
             0.0
         } else {
@@ -316,16 +465,29 @@ impl Scenario {
         let (utilization, link_loss, probe_overhead, mark_fraction) = link_metrics;
 
         // Host/sink per-group counters.
-        let (decided, accepted, rejected, sent): (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>) = {
+        let (decided, accepted, rejected, sent, timeouts, host_stranded): (
+            Vec<u64>,
+            Vec<u64>,
+            Vec<u64>,
+            Vec<u64>,
+            u64,
+            u64,
+        ) = {
             let host = sim.agent::<HostAgent>(host_n).expect("host");
             (
                 host.stats.decided.iter().map(|c| c.since_mark()).collect(),
                 host.stats.accepted.iter().map(|c| c.since_mark()).collect(),
                 host.stats.rejected.iter().map(|c| c.since_mark()).collect(),
-                host.stats.data_sent.iter().map(|c| c.since_mark()).collect(),
+                host.stats
+                    .data_sent
+                    .iter()
+                    .map(|c| c.since_mark())
+                    .collect(),
+                host.stats.timeouts.since_mark(),
+                host.stranded_flows() as u64,
             )
         };
-        let (received, delay_ms_mean, delay_ms_std): (Vec<u64>, f64, f64) = {
+        let (received, delay_ms_mean, delay_ms_std, sink_undecided): (Vec<u64>, f64, f64, u64) = {
             let sink = sim.agent::<SinkAgent>(sink_n).expect("sink");
             (
                 sink.stats
@@ -335,6 +497,7 @@ impl Scenario {
                     .collect(),
                 sink.stats.data_delay.mean() * 1_000.0,
                 sink.stats.data_delay.std_dev() * 1_000.0,
+                sink.undecided_flows() as u64,
             )
         };
 
@@ -350,7 +513,11 @@ impl Scenario {
                     decided: dec,
                     accepted: accepted[i],
                     rejected: rej,
-                    blocking: if dec == 0 { 0.0 } else { rej as f64 / dec as f64 },
+                    blocking: if dec == 0 {
+                        0.0
+                    } else {
+                        rej as f64 / dec as f64
+                    },
                     data_sent: sent[i],
                     data_received: received[i],
                     loss: if sent[i] == 0 {
@@ -393,6 +560,8 @@ impl Scenario {
             delay_ms_std,
             groups,
             link_utils: vec![utilization],
+            timeouts,
+            leaked_flows: host_stranded + sink_undecided,
             measured_s: measured.as_secs_f64(),
             seed: self.seed,
         }
@@ -402,10 +571,7 @@ impl Scenario {
 /// Run a scenario across several seeds and average the reports.
 pub fn run_seeds(base: &Scenario, seeds: &[u64]) -> Report {
     assert!(!seeds.is_empty());
-    let reports: Vec<Report> = seeds
-        .iter()
-        .map(|&s| base.clone().seed(s).run())
-        .collect();
+    let reports: Vec<Report> = seeds.iter().map(|&s| base.clone().seed(s).run()).collect();
     Report::average(&reports)
 }
 
@@ -435,7 +601,11 @@ mod tests {
             .run();
         assert_eq!(r.blocking, 0.0, "{r:?}");
         assert!(r.data_loss < 1e-4, "loss {}", r.data_loss);
-        assert!(r.utilization > 0.01 && r.utilization < 0.5, "util {}", r.utilization);
+        assert!(
+            r.utilization > 0.01 && r.utilization < 0.5,
+            "util {}",
+            r.utilization
+        );
     }
 
     #[test]
@@ -536,6 +706,7 @@ mod retry_tests {
         light.retry = Some(RetryPolicy {
             max_attempts: 3,
             base_backoff: SimDuration::from_secs(5),
+            max_backoff: SimDuration::from_secs(60),
         });
         let r = light.clone().run();
         assert_eq!(r.blocking, 0.0);
@@ -553,6 +724,7 @@ mod retry_tests {
         heavy.retry = Some(RetryPolicy {
             max_attempts: 3,
             base_backoff: SimDuration::from_secs(5),
+            max_backoff: SimDuration::from_secs(60),
         });
         let with_retry = heavy.run();
         let base_dec: u64 = base.groups.iter().map(|g| g.decided).sum();

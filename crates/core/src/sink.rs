@@ -43,6 +43,12 @@ pub struct SinkConfig {
     /// How long after a stage-end report to wait before judging the stage
     /// (bounds the queueing delay of in-flight probes).
     pub grace: SimDuration,
+    /// Upper bound on the life of an *undecided* flow record. When probes
+    /// or control packets are lost, a flow may never reach a verdict; its
+    /// record is reclaimed after this TTL (counted in
+    /// [`SinkStats::expired`]) so sink state stays bounded. Must exceed
+    /// the longest probe duration plus grace.
+    pub flow_ttl: SimDuration,
 }
 
 /// Per-group and aggregate receiver statistics.
@@ -63,6 +69,10 @@ pub struct SinkStats {
     /// admission-controlled queue is bounded; this lets reports verify
     /// that claim.
     pub data_delay: Welford,
+    /// Undecided flow records reclaimed by the TTL garbage collector.
+    pub expired: Counter,
+    /// Timer events of an unknown kind (counted and ignored).
+    pub stray_timers: Counter,
 }
 
 impl SinkStats {
@@ -74,17 +84,25 @@ impl SinkStats {
             accepts: Counter::new(),
             rejects: Counter::new(),
             data_delay: Welford::new(),
+            expired: Counter::new(),
+            stray_timers: Counter::new(),
         }
     }
 
     /// Snapshot all counters (end of warm-up).
     pub fn mark_all(&mut self) {
-        for c in self.data_received.iter_mut().chain(self.data_bytes.iter_mut()) {
+        for c in self
+            .data_received
+            .iter_mut()
+            .chain(self.data_bytes.iter_mut())
+        {
             c.mark();
         }
         self.probe_received.mark();
         self.accepts.mark();
         self.rejects.mark();
+        self.expired.mark();
+        self.stray_timers.mark();
         self.data_delay.reset();
     }
 }
@@ -144,15 +162,29 @@ impl SinkAgent {
     }
 
     fn eps_of(&self, group: u8) -> f64 {
-        *self
-            .cfg
-            .eps_per_group
-            .get(group as usize)
-            .unwrap_or(&0.0)
+        *self.cfg.eps_per_group.get(group as usize).unwrap_or(&0.0)
+    }
+
+    /// Flow records still awaiting a verdict right now. Bounded by the
+    /// TTL garbage collector even when control packets are lost.
+    pub fn undecided_flows(&self) -> usize {
+        self.flows.values().filter(|f| !f.decided).count()
+    }
+
+    /// Create the record for `id` if absent, arming its TTL reclaim timer
+    /// so an abandoned (never-decided) flow cannot leak state forever.
+    fn ensure_flow(&mut self, id: u64, host: NodeId, eps: f64, api: &mut Api) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.flows.entry(id) {
+            e.insert(SinkFlow::new(host, eps));
+            api.timer_in(self.cfg.flow_ttl, timer::GC, id);
+        }
     }
 
     fn verdict(&mut self, flow_id: u64, accept: bool, api: &mut Api) {
-        let flow = self.flows.get_mut(&flow_id).expect("verdict for unknown flow");
+        let flow = self
+            .flows
+            .get_mut(&flow_id)
+            .expect("verdict for unknown flow");
         flow.decided = true;
         if accept {
             self.stats.accepts.inc();
@@ -180,10 +212,8 @@ impl SinkAgent {
         self.stats.probe_received.inc();
         let (stage, group) = decode_probe_aux(pkt.aux);
         let eps = self.eps_of(group);
-        let flow = self
-            .flows
-            .entry(pkt.flow.0)
-            .or_insert_with(|| SinkFlow::new(pkt.src, eps));
+        self.ensure_flow(pkt.flow.0, pkt.src, eps, api);
+        let flow = self.flows.get_mut(&pkt.flow.0).expect("just ensured");
         if flow.decided {
             return;
         }
@@ -199,7 +229,9 @@ impl SinkAgent {
         // In-flight abort (simple probing): reject as soon as the whole
         // probe's loss budget is provably exhausted.
         if flow.abort && flow.expected_total > 0 {
-            let lost = flow.max_seq_plus1.saturating_sub(flow.received_total as u64) as u32;
+            let lost = flow
+                .max_seq_plus1
+                .saturating_sub(flow.received_total as u64) as u32;
             let events = match self.cfg.signal {
                 Signal::Drop => lost,
                 Signal::Mark => lost + flow.marked_total,
@@ -219,10 +251,8 @@ impl SinkAgent {
                 abort,
             }) => {
                 let eps = self.eps_of(group);
-                let flow = self
-                    .flows
-                    .entry(pkt.flow.0)
-                    .or_insert_with(|| SinkFlow::new(pkt.src, eps));
+                self.ensure_flow(pkt.flow.0, pkt.src, eps, api);
+                let flow = self.flows.get_mut(&pkt.flow.0).expect("just ensured");
                 flow.host = pkt.src;
                 flow.eps = eps;
                 flow.expected_total = expected;
@@ -299,9 +329,19 @@ impl Agent for SinkAgent {
         match kind {
             timer::EVAL => self.on_eval(data, api),
             timer::GC => {
-                self.flows.remove(&data);
+                // Fired either 30 s after a verdict (drop the decided
+                // record once stragglers drained) or at the creation TTL.
+                // Reclaiming an undecided record means the flow never got
+                // a verdict — that's the `expired` leak-pressure signal.
+                if let Some(f) = self.flows.remove(&data) {
+                    if !f.decided {
+                        self.stats.expired.inc();
+                    }
+                }
             }
-            _ => unreachable!("unknown sink timer {kind}"),
+            // Count and ignore unknown timer kinds; aborting a long run
+            // over a stray timer helps nobody.
+            _ => self.stats.stray_timers.inc(),
         }
     }
 

@@ -117,6 +117,8 @@ proptest! {
                 loss: 0.01,
             }],
             link_utils: vec![util],
+            timeouts: 0,
+            leaked_flows: 0,
             measured_s: 1.0,
             seed: 0,
         };

@@ -64,8 +64,22 @@ fn world(signal: Signal, eps: f64) -> (Sim, NodeId, NodeId) {
     let host = net.add_node();
     let sink = net.add_node();
     let fast = || Box::new(DropTail::new(Limit::Packets(10_000)));
-    net.add_link(host, sink, 100_000_000, SimDuration::from_millis(1), fast(), None);
-    net.add_link(sink, host, 100_000_000, SimDuration::from_millis(1), fast(), None);
+    net.add_link(
+        host,
+        sink,
+        100_000_000,
+        SimDuration::from_millis(1),
+        fast(),
+        None,
+    );
+    net.add_link(
+        sink,
+        host,
+        100_000_000,
+        SimDuration::from_millis(1),
+        fast(),
+        None,
+    );
     let mut sim = Sim::new(net);
     sim.attach(
         sink,
@@ -73,6 +87,7 @@ fn world(signal: Signal, eps: f64) -> (Sim, NodeId, NodeId) {
             signal,
             eps_per_group: vec![eps],
             grace: SimDuration::from_millis(10),
+            flow_ttl: SimDuration::from_secs(70),
         })),
     );
     (sim, host, sink)
@@ -90,11 +105,7 @@ fn ctrl(msg: Msg) -> (TrafficClass, u64, u64, bool) {
     (TrafficClass::Control, msg.encode(), 0, false)
 }
 
-fn run_script(
-    signal: Signal,
-    eps: f64,
-    script: Vec<(TrafficClass, u64, u64, bool)>,
-) -> Vec<bool> {
+fn run_script(signal: Signal, eps: f64, script: Vec<(TrafficClass, u64, u64, bool)>) -> Vec<bool> {
     let (mut sim, host, _sink) = world(signal, eps);
     sim.attach(
         host,

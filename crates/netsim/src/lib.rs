@@ -20,6 +20,8 @@
 //!   └──────────────────┘
 //! ```
 
+pub mod audit;
+pub mod fault;
 pub mod link;
 pub mod packet;
 pub mod qdisc;
@@ -27,12 +29,14 @@ pub mod sim;
 pub mod topo;
 pub mod trace;
 
+pub use audit::{check_conservation, AuditCounters, AuditError};
+pub use fault::{FaultPlan, FaultStats, Impairment, LinkFlap};
 pub use link::{ClassStats, Link, LinkStats};
 pub use packet::{FlowId, LinkId, NodeId, Packet, TrafficClass};
 pub use qdisc::{
-    class_band_map, Band, Dequeue, Drr, DropTail, Enqueued, Limit, Qdisc, Red, RedMode, RedParams, StrictPrio,
-    TokenBucket, VirtualQueue,
+    class_band_map, Band, Dequeue, DropTail, Drr, Enqueued, Limit, Qdisc, Red, RedMode, RedParams,
+    StrictPrio, TokenBucket, VirtualQueue,
 };
-pub use sim::{Agent, Api, Event, Sim};
+pub use sim::{Agent, Api, Event, RunError, Sim};
 pub use topo::Network;
 pub use trace::{TraceKind, TraceRecord, Tracer};

@@ -97,6 +97,10 @@ pub struct Link {
     in_flight: Option<Packet>,
     /// Earliest pending `TryDequeue` wake-up, to avoid duplicate events.
     wakeup_at: Option<SimTime>,
+    /// Operational state (fault injection): a down link neither starts
+    /// new transmissions nor delivers the one on the wire; queued packets
+    /// wait for the link to come back up.
+    up: bool,
     /// Per-class counters.
     pub stats: LinkStats,
 }
@@ -134,6 +138,7 @@ impl Link {
             marker,
             in_flight: None,
             wakeup_at: None,
+            up: true,
             stats: LinkStats::default(),
         }
     }
@@ -176,7 +181,7 @@ impl Link {
 
     /// If idle, try to start transmitting; report what to schedule.
     pub fn try_start(&mut self, now: SimTime) -> LinkAction {
-        if self.in_flight.is_some() {
+        if !self.up || self.in_flight.is_some() {
             return LinkAction::None;
         }
         match self.qdisc.dequeue(now) {
@@ -235,6 +240,17 @@ impl Link {
     /// Whether the transmitter is busy.
     pub fn is_busy(&self) -> bool {
         self.in_flight.is_some()
+    }
+
+    /// Whether the link is operational (fault injection).
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Change the operational state (driven by `LinkDown`/`LinkUp`
+    /// events; routing must be recomputed by the caller).
+    pub(crate) fn set_up(&mut self, up: bool) {
+        self.up = up;
     }
 }
 

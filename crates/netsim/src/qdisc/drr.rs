@@ -155,9 +155,8 @@ impl Qdisc for Drr {
                 }
                 // Deficit too small: move to the back of the round with a
                 // fresh quantum due on the next visit.
-                min_gap = Some(min_gap.map_or(head_size - q.deficit, |g| {
-                    g.min(head_size - q.deficit)
-                }));
+                min_gap =
+                    Some(min_gap.map_or(head_size - q.deficit, |g| g.min(head_size - q.deficit)));
                 q.fresh = true;
                 self.active.push_back(flow);
             }
@@ -244,14 +243,30 @@ mod tests {
             q.enqueue(pkt(2, 100 + i, 125), SimTime::ZERO);
         }
         let out = drain(&mut q);
-        let bytes_1: u64 = out.iter().filter(|p| p.flow.0 == 1).map(|p| p.size as u64).sum();
-        let bytes_2: u64 = out.iter().filter(|p| p.flow.0 == 2).map(|p| p.size as u64).sum();
+        let bytes_1: u64 = out
+            .iter()
+            .filter(|p| p.flow.0 == 1)
+            .map(|p| p.size as u64)
+            .sum();
+        let bytes_2: u64 = out
+            .iter()
+            .filter(|p| p.flow.0 == 2)
+            .map(|p| p.size as u64)
+            .sum();
         assert_eq!(bytes_1, 1000);
         assert_eq!(bytes_2, 1000);
         // First 12 departures should be byte-balanced within one packet.
         let first: Vec<_> = out.iter().take(9).collect();
-        let b1: i64 = first.iter().filter(|p| p.flow.0 == 1).map(|p| p.size as i64).sum();
-        let b2: i64 = first.iter().filter(|p| p.flow.0 == 2).map(|p| p.size as i64).sum();
+        let b1: i64 = first
+            .iter()
+            .filter(|p| p.flow.0 == 1)
+            .map(|p| p.size as i64)
+            .sum();
+        let b2: i64 = first
+            .iter()
+            .filter(|p| p.flow.0 == 2)
+            .map(|p| p.size as i64)
+            .sum();
         assert!((b1 - b2).abs() <= 250, "b1={b1} b2={b2}");
     }
 

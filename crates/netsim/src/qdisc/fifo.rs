@@ -42,7 +42,8 @@ impl DropTail {
 
     /// Would admitting a packet of `size` bytes overflow the buffer?
     pub fn would_overflow(&self, size: u32) -> bool {
-        self.limit.would_overflow(self.queue.len(), self.bytes, size)
+        self.limit
+            .would_overflow(self.queue.len(), self.bytes, size)
     }
 
     /// Enqueue without a capacity check (the caller has already made room —

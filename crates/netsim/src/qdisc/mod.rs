@@ -182,8 +182,8 @@ impl TokenBucket {
             let secs = deficit * 8.0 / self.rate_bps as f64;
             // Round up to at least one tick: a sub-nanosecond deficit must
             // not produce "ready now" while try_take still refuses.
-            let d = simcore::SimDuration::from_secs_f64(secs)
-                .max(simcore::SimDuration::from_nanos(1));
+            let d =
+                simcore::SimDuration::from_secs_f64(secs).max(simcore::SimDuration::from_nanos(1));
             now + d
         }
     }

@@ -196,7 +196,12 @@ impl StrictPrio {
 }
 
 /// Build a class→band array from per-class band indices.
-pub fn class_band_map(control: usize, data: usize, probe: usize, best_effort: usize) -> [usize; TrafficClass::COUNT] {
+pub fn class_band_map(
+    control: usize,
+    data: usize,
+    probe: usize,
+    best_effort: usize,
+) -> [usize; TrafficClass::COUNT] {
     let mut m = [0; TrafficClass::COUNT];
     m[TrafficClass::Control.index()] = control;
     m[TrafficClass::Data.index()] = data;
@@ -366,8 +371,14 @@ mod tests {
     #[test]
     fn data_pushes_out_probe_when_shared_buffer_full() {
         let mut q = StrictPrio::admission_queue(Limit::Packets(2), true);
-        assert!(q.enqueue(pkt(0, TrafficClass::Probe, 125), SimTime::ZERO).accepted);
-        assert!(q.enqueue(pkt(1, TrafficClass::Probe, 125), SimTime::ZERO).accepted);
+        assert!(
+            q.enqueue(pkt(0, TrafficClass::Probe, 125), SimTime::ZERO)
+                .accepted
+        );
+        assert!(
+            q.enqueue(pkt(1, TrafficClass::Probe, 125), SimTime::ZERO)
+                .accepted
+        );
         let r = q.enqueue(pkt(2, TrafficClass::Data, 125), SimTime::ZERO);
         assert!(r.accepted);
         assert_eq!(r.evicted.len(), 1);
@@ -404,7 +415,10 @@ mod tests {
         let mut q = StrictPrio::admission_queue(Limit::Packets(1), true);
         q.enqueue(pkt(0, TrafficClass::Data, 125), SimTime::ZERO);
         // Shared buffer full, but control rides its own band.
-        assert!(q.enqueue(pkt(1, TrafficClass::Control, 40), SimTime::ZERO).accepted);
+        assert!(
+            q.enqueue(pkt(1, TrafficClass::Control, 40), SimTime::ZERO)
+                .accepted
+        );
     }
 
     #[test]
@@ -444,8 +458,14 @@ mod tests {
             false,
             125.0,
         );
-        assert!(q.enqueue(pkt(0, TrafficClass::BestEffort, 125), SimTime::ZERO).accepted);
-        assert!(!q.enqueue(pkt(1, TrafficClass::BestEffort, 125), SimTime::ZERO).accepted);
+        assert!(
+            q.enqueue(pkt(0, TrafficClass::BestEffort, 125), SimTime::ZERO)
+                .accepted
+        );
+        assert!(
+            !q.enqueue(pkt(1, TrafficClass::BestEffort, 125), SimTime::ZERO)
+                .accepted
+        );
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //!   agent);
 //! - timers to the owning node's agent.
 
+use crate::audit::AuditError;
+use crate::fault::FaultPlan;
 use crate::packet::{LinkId, NodeId, Packet};
 use crate::topo::Network;
-use simcore::{EventQueue, SimDuration, SimTime};
+use simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use std::any::Any;
 
 /// Simulation events.
@@ -26,7 +28,47 @@ pub enum Event {
     Deliver { node: NodeId, packet: Packet },
     /// An agent timer fires. `kind` and `data` are agent-defined.
     Timer { node: NodeId, kind: u32, data: u64 },
+    /// A scheduled fault takes the link down.
+    LinkDown { link: LinkId },
+    /// A scheduled fault brings the link back up.
+    LinkUp { link: LinkId },
 }
+
+/// Why a run stopped before reaching its horizon.
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// The event budget was exhausted — an event storm (e.g. a retry loop
+    /// with zero back-off) is spinning the calendar.
+    EventBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+        /// Simulation time when the budget ran out.
+        at: SimTime,
+    },
+    /// The calendar handed out an event earlier than one already
+    /// processed; simulation time must be monotone.
+    TimeRegression {
+        /// Time of the previously processed event.
+        from: SimTime,
+        /// Time of the offending event.
+        to: SimTime,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::EventBudgetExceeded { budget, at } => {
+                write!(f, "event budget of {budget} exhausted at {at}")
+            }
+            RunError::TimeRegression { from, to } => {
+                write!(f, "event time went backwards: {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// The toolbox handed to an agent callback.
 ///
@@ -51,13 +93,15 @@ impl<'a> Api<'a> {
     /// Send a packet into the network from this node.
     #[inline]
     pub fn send(&mut self, pkt: Packet) {
+        self.net.audit.injected += 1;
         self.net.inject(pkt, self.node, self.queue);
     }
 
     /// Arm a timer for this node at absolute time `at`.
     pub fn timer_at(&mut self, at: SimTime, kind: u32, data: u64) {
         let node = self.node;
-        self.queue.schedule_at(at, Event::Timer { node, kind, data });
+        self.queue
+            .schedule_at(at, Event::Timer { node, kind, data });
     }
 
     /// Arm a timer `delay` from now.
@@ -92,6 +136,10 @@ pub struct Sim {
     pub queue: EventQueue<Event>,
     agents: Vec<Option<Box<dyn Agent>>>,
     started: bool,
+    /// Cap on total events processed (watchdog; `None` = unlimited).
+    event_budget: Option<u64>,
+    /// Time of the most recently processed event (monotonicity audit).
+    last_event_time: SimTime,
 }
 
 impl Sim {
@@ -104,12 +152,41 @@ impl Sim {
             queue: EventQueue::new(),
             agents: (0..n).map(|_| None).collect(),
             started: false,
+            event_budget: None,
+            last_event_time: SimTime::ZERO,
         }
     }
 
     /// Attach an agent to a node (replacing any previous one).
     pub fn attach(&mut self, node: NodeId, agent: Box<dyn Agent>) {
         self.agents[node.0 as usize] = Some(agent);
+    }
+
+    /// Install a fault plan: schedule its link flaps on the calendar and
+    /// hand the impairments (with their dedicated RNG stream) to the
+    /// network. Call before running; identical seed + plan reproduce a
+    /// bit-identical run.
+    pub fn install_faults(&mut self, plan: FaultPlan, rng: SimRng) {
+        for f in &plan.flaps {
+            self.queue
+                .schedule_at(f.down_at, Event::LinkDown { link: f.link });
+            self.queue
+                .schedule_at(f.up_at, Event::LinkUp { link: f.link });
+        }
+        self.net.install_faults(plan, rng);
+    }
+
+    /// Bound the total number of events this simulation may process.
+    /// [`try_run_until`](Sim::try_run_until) returns
+    /// [`RunError::EventBudgetExceeded`] instead of spinning forever when
+    /// an event storm (e.g. a zero-delay retry loop) hits the cap.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = Some(budget);
+    }
+
+    /// Check packet conservation right now (see [`crate::audit`]).
+    pub fn check_conservation(&self) -> Result<(), AuditError> {
+        crate::audit::check_conservation(&self.net)
     }
 
     /// Current simulation time.
@@ -145,11 +222,13 @@ impl Sim {
             Event::TxComplete { link } => self.net.tx_complete(link, &mut self.queue),
             Event::TryDequeue { link } => self.net.try_dequeue(link, &mut self.queue),
             Event::Deliver { node, packet } => {
+                self.net.audit.in_transit -= 1;
                 if node != packet.dst {
                     // Transit node: forward.
                     self.net.inject(packet, node, &mut self.queue);
                     return;
                 }
+                self.net.audit.delivered += 1;
                 if let Some(t) = self.net.tracer.as_mut() {
                     t.record(
                         self.queue.now(),
@@ -174,9 +253,14 @@ impl Sim {
             }
             Event::Timer { node, kind, data } => {
                 let idx = node.0 as usize;
-                let mut agent = self.agents[idx]
-                    .take()
-                    .unwrap_or_else(|| panic!("timer for {node} which has no agent"));
+                // A timer for an agent-less node is counted and ignored,
+                // not fatal: fault injection can legitimately orphan
+                // timers (e.g. an agent torn down while its timer rode
+                // the calendar).
+                let Some(mut agent) = self.agents[idx].take() else {
+                    self.net.audit.stray_timers += 1;
+                    return;
+                };
                 let mut api = Api {
                     node,
                     net: &mut self.net,
@@ -185,12 +269,16 @@ impl Sim {
                 agent.on_timer(kind, data, &mut api);
                 self.agents[idx] = Some(agent);
             }
+            Event::LinkDown { link } => self.net.set_link_up(link, false, &mut self.queue),
+            Event::LinkUp { link } => self.net.set_link_up(link, true, &mut self.queue),
         }
     }
 
     /// Run until the calendar is empty or the next event is after `until`.
-    /// Events exactly at `until` are processed.
-    pub fn run_until(&mut self, until: SimTime) {
+    /// Events exactly at `until` are processed. Returns an error instead
+    /// of looping forever when the opt-in event budget is exhausted
+    /// ([`Sim::set_event_budget`]), or if event time ever regresses.
+    pub fn try_run_until(&mut self, until: SimTime) -> Result<(), RunError> {
         if !self.started {
             self.dispatch_start();
         }
@@ -198,8 +286,34 @@ impl Sim {
             if t > until {
                 break;
             }
+            if let Some(budget) = self.event_budget {
+                if self.queue.events_fired() >= budget {
+                    return Err(RunError::EventBudgetExceeded {
+                        budget,
+                        at: self.queue.now(),
+                    });
+                }
+            }
+            if t < self.last_event_time {
+                return Err(RunError::TimeRegression {
+                    from: self.last_event_time,
+                    to: t,
+                });
+            }
+            self.last_event_time = t;
             let (_, ev) = self.queue.pop().expect("peeked");
             self.handle(ev);
+        }
+        Ok(())
+    }
+
+    /// Run until the calendar is empty or the next event is after `until`.
+    /// Panics if the event budget runs out — use
+    /// [`try_run_until`](Sim::try_run_until) where a graceful error is
+    /// wanted. Without a budget installed this never panics.
+    pub fn run_until(&mut self, until: SimTime) {
+        if let Err(e) = self.try_run_until(until) {
+            panic!("{e}");
         }
     }
 
@@ -281,7 +395,14 @@ mod tests {
         let b = net.add_node();
         net.add_link(a, b, 10_000_000, SimDuration::from_millis(20), dt(), None);
         let mut sim = Sim::new(net);
-        sim.attach(a, Box::new(Blaster { peer: b, n: 100, sent: 0 }));
+        sim.attach(
+            a,
+            Box::new(Blaster {
+                peer: b,
+                n: 100,
+                sent: 0,
+            }),
+        );
         sim.attach(
             b,
             Box::new(Sink {
@@ -304,7 +425,14 @@ mod tests {
         let b = net.add_node();
         net.add_link(a, b, 10_000_000, SimDuration::ZERO, dt(), None);
         let mut sim = Sim::new(net);
-        sim.attach(a, Box::new(Blaster { peer: b, n: 1000, sent: 0 }));
+        sim.attach(
+            a,
+            Box::new(Blaster {
+                peer: b,
+                n: 1000,
+                sent: 0,
+            }),
+        );
         sim.attach(
             b,
             Box::new(Sink {
@@ -326,7 +454,14 @@ mod tests {
         let b = net.add_node();
         net.add_link(a, b, 10_000_000, SimDuration::ZERO, dt(), None);
         let mut sim = Sim::new(net);
-        sim.attach(a, Box::new(Blaster { peer: b, n: 5, sent: 0 }));
+        sim.attach(
+            a,
+            Box::new(Blaster {
+                peer: b,
+                n: 5,
+                sent: 0,
+            }),
+        );
         // No agent at b.
         sim.run_to_completion();
         assert_eq!(sim.net.orphan_packets, 5);
@@ -340,7 +475,14 @@ mod tests {
             let b = net.add_node();
             net.add_link(a, b, 1_000_000, SimDuration::from_millis(5), dt(), None);
             let mut sim = Sim::new(net);
-            sim.attach(a, Box::new(Blaster { peer: b, n: 500, sent: 0 }));
+            sim.attach(
+                a,
+                Box::new(Blaster {
+                    peer: b,
+                    n: 500,
+                    sent: 0,
+                }),
+            );
             sim.attach(
                 b,
                 Box::new(Sink {

@@ -4,11 +4,14 @@
 //! with static minimum-hop routing (BFS per destination). Routes are
 //! computed lazily and cached; adding a link invalidates the cache.
 
+use crate::audit::AuditCounters;
+use crate::fault::{FaultPlan, FaultState, FaultStats, WireFate};
 use crate::link::{Link, LinkAction};
 use crate::packet::{LinkId, NodeId, Packet};
 use crate::qdisc::{Qdisc, VirtualQueue};
 use crate::sim::Event;
-use simcore::{EventQueue, SimDuration};
+use crate::trace::TraceKind;
+use simcore::{EventQueue, SimDuration, SimRng};
 use std::collections::VecDeque;
 
 /// The network: nodes, links, routes.
@@ -22,6 +25,10 @@ pub struct Network {
     pub orphan_packets: u64,
     /// Optional packet-event tracer (see [`crate::trace`]).
     pub tracer: Option<crate::trace::Tracer>,
+    /// Packet-conservation counters (see [`crate::audit`]).
+    pub audit: AuditCounters,
+    /// Installed fault state, if any (see [`crate::fault`]).
+    pub(crate) faults: Option<FaultState>,
     /// Shared state reachable from every agent through [`crate::Api`]
     /// (e.g. a router-based admission-control registry). Agents `take()`
     /// it, use it, and put it back — the run loop is single-threaded so
@@ -46,7 +53,20 @@ impl Network {
             orphan_packets: 0,
             blackboard: None,
             tracer: None,
+            audit: AuditCounters::default(),
+            faults: None,
         }
+    }
+
+    /// Install a fault plan with its dedicated RNG stream. Prefer
+    /// `Sim::install_faults`, which also schedules the plan's flap events.
+    pub fn install_faults(&mut self, plan: FaultPlan, rng: SimRng) {
+        self.faults = Some(FaultState::new(plan, rng));
+    }
+
+    /// Fault counters, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| &f.stats)
     }
 
     /// Add a node, returning its id.
@@ -85,8 +105,15 @@ impl Network {
         assert!((from.0 as usize) < self.num_nodes && (to.0 as usize) < self.num_nodes);
         assert_ne!(from, to, "self-loop link");
         let id = LinkId(self.links.len() as u32);
-        self.links
-            .push(Link::new(id, from, to, bandwidth_bps, prop_delay, qdisc, marker));
+        self.links.push(Link::new(
+            id,
+            from,
+            to,
+            bandwidth_bps,
+            prop_delay,
+            qdisc,
+            marker,
+        ));
         self.routes_dirty = true;
         id
     }
@@ -127,7 +154,11 @@ impl Network {
             q.push_back(dst);
             while let Some(v) = q.pop_front() {
                 for &lid in &rev[v] {
-                    let u = self.links[lid.0 as usize].from.0 as usize;
+                    let link = &self.links[lid.0 as usize];
+                    if !link.is_up() {
+                        continue; // down links carry no routes
+                    }
+                    let u = link.from.0 as usize;
                     if dist[u] == usize::MAX {
                         dist[u] = dist[v] + 1;
                         self.next_hop[u][dst] = Some(lid);
@@ -142,7 +173,10 @@ impl Network {
     /// The next-hop link from `at` toward `dst` (None if unreachable).
     /// Requires routes to be computed.
     pub fn route(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
-        assert!(!self.routes_dirty, "routes are stale; call compute_routes()");
+        assert!(
+            !self.routes_dirty,
+            "routes are stale; call compute_routes()"
+        );
         self.next_hop[at.0 as usize][dst.0 as usize]
     }
 
@@ -168,24 +202,25 @@ impl Network {
     }
 
     /// Inject `pkt` at `node`: route it onto the next-hop link (or deliver
-    /// immediately if already at the destination).
+    /// immediately if already at the destination). A destination with no
+    /// route — possible when fault flaps partition the topology — is a
+    /// counted drop ([`AuditCounters::no_route_drops`]), not a panic.
     pub fn inject(&mut self, pkt: Packet, node: NodeId, q: &mut EventQueue<Event>) {
         if node == pkt.dst {
-            q.schedule_in(
-                SimDuration::ZERO,
-                Event::Deliver {
-                    node,
-                    packet: pkt,
-                },
-            );
+            self.audit.in_transit += 1;
+            q.schedule_in(SimDuration::ZERO, Event::Deliver { node, packet: pkt });
             return;
         }
         if self.routes_dirty {
             self.compute_routes();
         }
-        let lid = self
-            .route(node, pkt.dst)
-            .unwrap_or_else(|| panic!("no route {node}->{} for {}", pkt.dst, pkt.flow));
+        let Some(lid) = self.route(node, pkt.dst) else {
+            self.audit.no_route_drops += 1;
+            if let Some(t) = self.tracer.as_mut() {
+                t.record(q.now(), TraceKind::Drop, None, &pkt);
+            }
+            return;
+        };
         let now = q.now();
         let link = &mut self.links[lid.0 as usize];
         link.receive(pkt, now, &mut self.tracer);
@@ -193,22 +228,76 @@ impl Network {
         self.apply(lid, action, q);
     }
 
-    /// Handle a `TxComplete` event: propagate the packet and restart the link.
+    /// Handle a `TxComplete` event: propagate the packet and restart the
+    /// link. This is where installed wire faults act: a packet finishing
+    /// serialisation on a down link is lost, and matching impairments may
+    /// lose, duplicate, or jitter-delay the delivery.
     pub fn tx_complete(&mut self, lid: LinkId, q: &mut EventQueue<Event>) {
         let now = q.now();
         let link = &mut self.links[lid.0 as usize];
         let pkt = link.tx_complete(now, &mut self.tracer);
         let to = link.to;
         let delay = link.prop_delay;
-        q.schedule_in(
-            delay,
-            Event::Deliver {
-                node: to,
-                packet: pkt,
+        if !link.is_up() {
+            if let Some(f) = self.faults.as_mut() {
+                f.stats.down_drops += 1;
+            }
+            if let Some(t) = self.tracer.as_mut() {
+                t.record(now, TraceKind::Drop, Some(lid), &pkt);
+            }
+            return; // a down link never restarts; LinkUp will kick it
+        }
+        let fate = match self.faults.as_mut() {
+            Some(f) => f.judge(lid, pkt.class),
+            None => WireFate::Deliver {
+                extra: SimDuration::ZERO,
+                dup_extra: None,
             },
-        );
+        };
+        match fate {
+            WireFate::Lost => {
+                if let Some(t) = self.tracer.as_mut() {
+                    t.record(now, TraceKind::Drop, Some(lid), &pkt);
+                }
+            }
+            WireFate::Deliver { extra, dup_extra } => {
+                if let Some(dup) = dup_extra {
+                    self.audit.in_transit += 1;
+                    q.schedule_in(
+                        delay + dup,
+                        Event::Deliver {
+                            node: to,
+                            packet: pkt.clone(),
+                        },
+                    );
+                }
+                self.audit.in_transit += 1;
+                q.schedule_in(
+                    delay + extra,
+                    Event::Deliver {
+                        node: to,
+                        packet: pkt,
+                    },
+                );
+            }
+        }
         let action = link.try_start(now);
         self.apply(lid, action, q);
+    }
+
+    /// Flip a link's operational state (fault flaps). Going down removes
+    /// the link from routing; coming up restores it and kicks the
+    /// transmitter so queued packets resume.
+    pub fn set_link_up(&mut self, lid: LinkId, up: bool, q: &mut EventQueue<Event>) {
+        let link = &mut self.links[lid.0 as usize];
+        if link.is_up() == up {
+            return;
+        }
+        link.set_up(up);
+        self.routes_dirty = true;
+        if up {
+            q.schedule_in(SimDuration::ZERO, Event::TryDequeue { link: lid });
+        }
     }
 
     /// Handle a `TryDequeue` wake-up on a rate-limited link.
@@ -235,8 +324,22 @@ mod tests {
         let mut net = Network::new();
         let ns = net.add_nodes(3);
         for w in ns.windows(2) {
-            net.add_link(w[0], w[1], 1_000_000, SimDuration::from_millis(1), dt(), None);
-            net.add_link(w[1], w[0], 1_000_000, SimDuration::from_millis(1), dt(), None);
+            net.add_link(
+                w[0],
+                w[1],
+                1_000_000,
+                SimDuration::from_millis(1),
+                dt(),
+                None,
+            );
+            net.add_link(
+                w[1],
+                w[0],
+                1_000_000,
+                SimDuration::from_millis(1),
+                dt(),
+                None,
+            );
         }
         net.compute_routes();
         net
@@ -289,18 +392,28 @@ mod tests {
                         net.inject(packet, node, &mut q);
                     }
                 }
-                Event::Timer { .. } => unreachable!(),
+                Event::Timer { .. } | Event::LinkDown { .. } | Event::LinkUp { .. } => {
+                    unreachable!()
+                }
             }
         }
         // Two transmissions (1 ms each for 125 B at 1 Mbps) + two props (1 ms).
         let expected = SimTime::from_secs_f64(0.001 + 0.001 + 0.001 + 0.001);
         assert_eq!(delivered_at, Some(expected));
         assert_eq!(
-            net.link(LinkId(0)).stats.class(TrafficClass::Data).transmitted.total(),
+            net.link(LinkId(0))
+                .stats
+                .class(TrafficClass::Data)
+                .transmitted
+                .total(),
             1
         );
         assert_eq!(
-            net.link(LinkId(2)).stats.class(TrafficClass::Data).transmitted.total(),
+            net.link(LinkId(2))
+                .stats
+                .class(TrafficClass::Data)
+                .transmitted
+                .total(),
             1
         );
     }

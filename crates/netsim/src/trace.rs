@@ -196,8 +196,18 @@ mod tests {
     #[test]
     fn records_in_order_with_fields() {
         let mut t = Tracer::new(10);
-        t.record(SimTime::from_secs(1), TraceKind::Enqueue, Some(LinkId(0)), &pkt(TrafficClass::Data, 7));
-        t.record(SimTime::from_secs(2), TraceKind::Transmit, Some(LinkId(0)), &pkt(TrafficClass::Data, 7));
+        t.record(
+            SimTime::from_secs(1),
+            TraceKind::Enqueue,
+            Some(LinkId(0)),
+            &pkt(TrafficClass::Data, 7),
+        );
+        t.record(
+            SimTime::from_secs(2),
+            TraceKind::Transmit,
+            Some(LinkId(0)),
+            &pkt(TrafficClass::Data, 7),
+        );
         assert_eq!(t.records().len(), 2);
         assert_eq!(t.records()[0].kind, TraceKind::Enqueue);
         assert_eq!(t.records()[1].seq, 7);
@@ -208,8 +218,18 @@ mod tests {
     #[test]
     fn class_filter() {
         let mut t = Tracer::new(10).with_class(TrafficClass::Probe);
-        t.record(SimTime::ZERO, TraceKind::Drop, Some(LinkId(1)), &pkt(TrafficClass::Data, 0));
-        t.record(SimTime::ZERO, TraceKind::Drop, Some(LinkId(1)), &pkt(TrafficClass::Probe, 1));
+        t.record(
+            SimTime::ZERO,
+            TraceKind::Drop,
+            Some(LinkId(1)),
+            &pkt(TrafficClass::Data, 0),
+        );
+        t.record(
+            SimTime::ZERO,
+            TraceKind::Drop,
+            Some(LinkId(1)),
+            &pkt(TrafficClass::Probe, 1),
+        );
         assert_eq!(t.records().len(), 1);
         assert_eq!(t.records()[0].class, TrafficClass::Probe);
     }
@@ -218,7 +238,12 @@ mod tests {
     fn capacity_stops_recording_and_flags() {
         let mut t = Tracer::new(2);
         for i in 0..5 {
-            t.record(SimTime::ZERO, TraceKind::Enqueue, None, &pkt(TrafficClass::Data, i));
+            t.record(
+                SimTime::ZERO,
+                TraceKind::Enqueue,
+                None,
+                &pkt(TrafficClass::Data, i),
+            );
         }
         assert_eq!(t.records().len(), 2);
         assert!(t.truncated());

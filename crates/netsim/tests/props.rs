@@ -55,8 +55,10 @@ fn check_conservation(q: &mut dyn Qdisc, steps: &[Step]) -> Result<(), TestCaseE
         match s {
             Step::Enq { flow, size, class } => {
                 offered += 1;
-                let Enqueued { accepted, evicted: ev } =
-                    q.enqueue(pkt(id, *flow, *size, class_of(*class)), now);
+                let Enqueued {
+                    accepted,
+                    evicted: ev,
+                } = q.enqueue(pkt(id, *flow, *size, class_of(*class)), now);
                 id += 1;
                 if !accepted {
                     rejected += 1;

@@ -102,7 +102,10 @@ impl SimDuration {
     /// Panics on negative or non-finite input.
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "invalid SimDuration seconds: {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "invalid SimDuration seconds: {s}"
+        );
         SimDuration((s * NANOS_PER_SEC as f64).round() as u64)
     }
 
@@ -184,6 +187,17 @@ impl Mul<u64> for SimDuration {
     #[inline]
     fn mul(self, k: u64) -> SimDuration {
         SimDuration(self.0.checked_mul(k).expect("SimDuration overflow"))
+    }
+}
+
+impl SimDuration {
+    /// Multiply by `k`, saturating at the representable maximum instead of
+    /// panicking. Use for geometric growth (exponential back-off) where
+    /// the factor is attacker- or parameter-controlled.
+    #[inline]
+    #[must_use]
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
     }
 }
 

@@ -29,7 +29,10 @@ impl Cbr {
     /// A CBR stream of `pkt_bytes`-byte packets at `rate_bps`.
     pub fn new(rate_bps: f64, pkt_bytes: u32) -> Self {
         assert!(rate_bps > 0.0 && pkt_bytes > 0);
-        Cbr { rate_bps, pkt_bytes }
+        Cbr {
+            rate_bps,
+            pkt_bytes,
+        }
     }
 
     /// The exact inter-packet spacing.

@@ -255,8 +255,7 @@ mod tests {
         assert!((d.offered_flows() - 85.714).abs() < 0.01);
         let mut rng = SimRng::new(2);
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| d.sample_interarrival(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| d.sample_interarrival(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 3.5).abs() < 0.05, "mean interarrival {mean}");
         let life: f64 = (0..n).map(|_| d.sample_lifetime(&mut rng)).sum::<f64>() / n as f64;
         assert!((life - 300.0).abs() < 5.0, "mean lifetime {life}");

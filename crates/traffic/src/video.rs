@@ -200,10 +200,7 @@ mod tests {
         let mut v = VideoSource::synthetic(VideoConfig::default());
         let (rate, _) = measure(&mut v, 42, 2_000.0);
         // Lognormal scene structure converges slowly; check the ballpark.
-        assert!(
-            rate > 300_000.0 && rate < 1_200_000.0,
-            "rate {rate}"
-        );
+        assert!(rate > 300_000.0 && rate < 1_200_000.0, "rate {rate}");
     }
 
     #[test]

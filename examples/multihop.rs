@@ -19,13 +19,19 @@ fn main() {
         .seed(7)
         .run();
 
-    println!("backbone utilizations: {:?}\n", report
-        .link_utils
-        .iter()
-        .map(|u| format!("{u:.3}"))
-        .collect::<Vec<_>>());
+    println!(
+        "backbone utilizations: {:?}\n",
+        report
+            .link_utils
+            .iter()
+            .map(|u| format!("{u:.3}"))
+            .collect::<Vec<_>>()
+    );
 
-    println!("{:<10} {:>9} {:>9} {:>12}", "group", "blocking", "loss", "hops");
+    println!(
+        "{:<10} {:>9} {:>9} {:>12}",
+        "group", "blocking", "loss", "hops"
+    );
     for (g, hops) in report.groups.iter().zip([1, 1, 1, 3]) {
         println!(
             "{:<10} {:>9.3} {:>9.5} {:>12}",

@@ -48,6 +48,12 @@ fn main() {
 
     println!();
     println!("the paper's headline: the endpoint scheme loses only modestly");
-    println!("to the router-based benchmark — here {:.5} vs {:.5} loss at", r.data_loss, m.data_loss);
-    println!("{:.2} vs {:.2} utilization, with no router state at all.", r.utilization, m.utilization);
+    println!(
+        "to the router-based benchmark — here {:.5} vs {:.5} loss at",
+        r.data_loss, m.data_loss
+    );
+    println!(
+        "{:.2} vs {:.2} utilization, with no router state at all.",
+        r.utilization, m.utilization
+    );
 }

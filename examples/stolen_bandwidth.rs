@@ -12,8 +12,7 @@
 
 use endpoint_admission::fluid::statics::fq_stolen_loss_fraction;
 use endpoint_admission::netsim::{
-    Agent, Api, DropTail, Drr, FlowId, Limit, Network, NodeId, Packet, Qdisc, Sim,
-    TrafficClass,
+    Agent, Api, DropTail, Drr, FlowId, Limit, Network, NodeId, Packet, Qdisc, Sim, TrafficClass,
 };
 use endpoint_admission::simcore::{SimDuration, SimRng, SimTime};
 use std::any::Any;

@@ -14,7 +14,10 @@ fn main() {
     println!("flows (from t=0) and EXP1 admission-controlled flows probing");
     println!("in-band (from t=50s). Sweeping the acceptance threshold...\n");
 
-    println!("{:>6} {:>10} {:>10} {:>10}", "eps", "TCP util", "EAC util", "blocking");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "eps", "TCP util", "EAC util", "blocking"
+    );
     let mut locked_out = 0;
     let mut sharing = 0;
     for eps in [0.0, 0.02, 0.05, 0.08, 0.10, 0.12] {

@@ -21,12 +21,18 @@ fn main() {
         1.0 / m.lambda,
         m.mean_lifetime_s
     );
-    println!("(offered load {:.1} flows). Sweeping probe duration...\n", m.offered_flows());
+    println!(
+        "(offered load {:.1} flows). Sweeping probe duration...\n",
+        m.offered_flows()
+    );
 
     let xs = [1.0, 1.8, 2.2, 2.6, 3.0, 3.4, 3.6, 4.0, 5.0];
     let pts = fig1_sweep(&xs, 6_000.0, 6);
 
-    println!("{:>8} {:>12} {:>14} {:>12}", "probe-s", "utilization", "loss(in-band)", "E[probing]");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "probe-s", "utilization", "loss(in-band)", "E[probing]"
+    );
     for p in &pts {
         let bar = "#".repeat((p.utilization * 40.0) as usize);
         println!(

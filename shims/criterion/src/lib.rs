@@ -1,0 +1,146 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`, `Throughput`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! best-of-N wall-clock timing (no statistics, no HTML reports): good
+//! enough to run the benches end-to-end and spot order-of-magnitude
+//! regressions.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation; reported as elements/sec or bytes/sec.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set how many timed samples to take (min 2: one warmup discarded).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark and print its best sample time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed < best {
+                best = b.elapsed;
+            }
+        }
+        let mut line = format!("  {name}: {best:?}");
+        match self.throughput {
+            Some(Throughput::Elements(n)) if best > Duration::ZERO => {
+                let rate = n as f64 / best.as_secs_f64();
+                line.push_str(&format!("  ({rate:.0} elem/s)"));
+            }
+            Some(Throughput::Bytes(n)) if best > Duration::ZERO => {
+                let rate = n as f64 / best.as_secs_f64();
+                line.push_str(&format!("  ({rate:.0} B/s)"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (reporting already happened per-function).
+    pub fn finish(&mut self) {}
+}
+
+/// Handed to each benchmark closure; times the routine passed to `iter`.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (real criterion runs many
+    /// iterations per sample; one is enough for a smoke-level shim).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collect benchmark functions into a named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut runs = 0u32;
+        g.sample_size(3).bench_function("count", |b| {
+            runs += 1;
+            b.iter(|| black_box(1 + 1))
+        });
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,374 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the narrow slice of `rand`'s API the workspace actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`RngCore::next_u64`],
+//! [`Rng::gen`] for `f64`/`u64`/`bool`, and [`Rng::gen_range`] over integer
+//! ranges.
+//!
+//! [`rngs::StdRng`] is **bit-compatible with rand 0.8**: ChaCha12 keyed via
+//! rand_core's PCG32-based `seed_from_u64`, read through the same block-
+//! buffer word order, with `gen_range` using the same widening-multiply
+//! rejection sampler. Given the same seed and call sequence it reproduces
+//! the upstream stream exactly, so simulation results calibrated against
+//! real `rand` carry over unchanged.
+
+use std::ops::Range;
+
+/// Core trait: a source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (PCG32 key expansion, matching
+    /// rand_core 0.6).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling conveniences layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from its standard distribution
+    /// (`f64` uniform in `[0, 1)`, integers uniform over the full range,
+    /// `bool` fair).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample from `range` (half-open).
+    fn gen_range<T: UniformRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1); rand's
+        // multiply-based Standard sampler.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> bool {
+        // rand samples the sign bit of a u32 (MSBs beat LSBs on weak RNGs).
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait UniformRange: Sized {
+    /// Uniform sample from the half-open range.
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+// rand 0.8's `UniformInt::sample_single_inclusive`: widening multiply
+// with a bitmask zone, one fresh draw per rejection. Implemented per
+// "large" working width so draws consume exactly the same words as
+// upstream (u8/u16 widen to u32; u32/u64/usize sample at their own
+// width).
+macro_rules! impl_uniform_small {
+    ($($t:ty),*) => {$(
+        impl UniformRange for $t {
+            #[inline]
+            fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - 1).wrapping_sub(range.start).wrapping_add(1) as u32;
+                if span == 0 {
+                    return rng.next_u32() as $t;
+                }
+                // Small types reject by exact modulo (rand's `<= u16` arm).
+                let zone = u32::MAX - (u32::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u32();
+                    let m = (v as u64) * (span as u64);
+                    let (hi, lo) = ((m >> 32) as u32, m as u32);
+                    if lo <= zone {
+                        return range.start.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_small!(u8, u16);
+
+impl UniformRange for u32 {
+    #[inline]
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - 1).wrapping_sub(range.start).wrapping_add(1);
+        if span == 0 {
+            return rng.next_u32();
+        }
+        let zone = (span << span.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u32();
+            let m = (v as u64) * (span as u64);
+            let (hi, lo) = ((m >> 32) as u32, m as u32);
+            if lo <= zone {
+                return range.start.wrapping_add(hi);
+            }
+        }
+    }
+}
+
+macro_rules! impl_uniform_wide {
+    ($($t:ty),*) => {$(
+        impl UniformRange for $t {
+            #[inline]
+            fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = ((range.end - 1).wrapping_sub(range.start) as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                let zone = (span << span.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let m = (v as u128) * (span as u128);
+                    let (hi, lo) = ((m >> 64) as u64, m as u64);
+                    if lo <= zone {
+                        return range.start.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_wide!(u64, usize);
+
+pub mod rngs {
+    //! Named generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    const BLOCK_WORDS: usize = 16;
+    /// rand_chacha refills four blocks at a time; the concatenation equals
+    /// the sequential ChaCha stream, so buffer size only affects when the
+    /// `next_u64` word-straddle case can occur — keep it identical.
+    const BUF_WORDS: usize = 64;
+
+    /// The workspace's standard generator: ChaCha12, bit-compatible with
+    /// rand 0.8's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; BUF_WORDS],
+        index: usize,
+    }
+
+    impl StdRng {
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (i, k) in key.iter_mut().enumerate() {
+                *k = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS, // empty: first draw refills
+            }
+        }
+
+        /// One ChaCha12 block for the current key at block index `ctr`.
+        fn block(&self, ctr: u64, out: &mut [u32]) {
+            let mut x = [
+                0x6170_7865,
+                0x3320_646e,
+                0x7962_2d32,
+                0x6b20_6574,
+                self.key[0],
+                self.key[1],
+                self.key[2],
+                self.key[3],
+                self.key[4],
+                self.key[5],
+                self.key[6],
+                self.key[7],
+                ctr as u32,
+                (ctr >> 32) as u32,
+                0,
+                0,
+            ];
+            let initial = x;
+
+            #[inline(always)]
+            fn qr(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+                x[a] = x[a].wrapping_add(x[b]);
+                x[d] = (x[d] ^ x[a]).rotate_left(16);
+                x[c] = x[c].wrapping_add(x[d]);
+                x[b] = (x[b] ^ x[c]).rotate_left(12);
+                x[a] = x[a].wrapping_add(x[b]);
+                x[d] = (x[d] ^ x[a]).rotate_left(8);
+                x[c] = x[c].wrapping_add(x[d]);
+                x[b] = (x[b] ^ x[c]).rotate_left(7);
+            }
+
+            for _ in 0..6 {
+                // 6 double rounds = 12 rounds
+                qr(&mut x, 0, 4, 8, 12);
+                qr(&mut x, 1, 5, 9, 13);
+                qr(&mut x, 2, 6, 10, 14);
+                qr(&mut x, 3, 7, 11, 15);
+                qr(&mut x, 0, 5, 10, 15);
+                qr(&mut x, 1, 6, 11, 12);
+                qr(&mut x, 2, 7, 8, 13);
+                qr(&mut x, 3, 4, 9, 14);
+            }
+            for (o, (w, i)) in out.iter_mut().zip(x.iter().zip(initial.iter())) {
+                *o = w.wrapping_add(*i);
+            }
+        }
+
+        fn refill(&mut self) {
+            for b in 0..BUF_WORDS / BLOCK_WORDS {
+                let ctr = self.counter.wrapping_add(b as u64);
+                let start = b * BLOCK_WORDS;
+                let mut blk = [0u32; BLOCK_WORDS];
+                self.block(ctr, &mut blk);
+                self.buf[start..start + BLOCK_WORDS].copy_from_slice(&blk);
+            }
+            self.counter = self.counter.wrapping_add((BUF_WORDS / BLOCK_WORDS) as u64);
+            self.index = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // rand_core 0.6: expand via PCG32, 4 bytes per step, LE.
+            const MUL: u64 = 6_364_136_223_846_793_005;
+            const INC: u64 = 11_634_580_027_462_260_723;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_mut(4) {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+            }
+            StdRng::from_seed(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.refill();
+            }
+            let v = self.buf[self.index];
+            self.index += 1;
+            v
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // rand_core BlockRng: low word first, with the buffer-boundary
+            // straddle reading the last word then the first of a refill.
+            if self.index < BUF_WORDS - 1 {
+                let lo = self.buf[self.index] as u64;
+                let hi = self.buf[self.index + 1] as u64;
+                self.index += 2;
+                (hi << 32) | lo
+            } else if self.index >= BUF_WORDS {
+                self.refill();
+                let lo = self.buf[0] as u64;
+                let hi = self.buf[1] as u64;
+                self.index = 2;
+                (hi << 32) | lo
+            } else {
+                let lo = self.buf[BUF_WORDS - 1] as u64;
+                self.refill();
+                let hi = self.buf[0] as u64;
+                self.index = 1;
+                (hi << 32) | lo
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_and_coverage() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let i = r.gen_range(0usize..7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.005);
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace uses:
+//! structs with named fields and enums whose variants are all unit-like
+//! (serialized as their name string). The input is parsed directly from
+//! the token stream — no `syn`/`quote`, which are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the shim's value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility to find `struct`/`enum`.
+    let mut kind = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // #[...]
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    i += 1;
+                    break;
+                }
+                i += 1; // pub, crate, etc.
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.expect("derive(Serialize): expected struct or enum");
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, got {other}"),
+    };
+    i += 1;
+
+    // Find the brace-delimited body (skipping where-clauses would go here;
+    // the workspace derives only on plain types).
+    let body = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            TokenTree::Group(_) | TokenTree::Ident(_) | TokenTree::Punct(_) => i += 1,
+            other => panic!("derive(Serialize): unexpected {other}"),
+        }
+    };
+
+    let out = if kind == "struct" {
+        let fields = named_fields(body);
+        let entries: String = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})),"
+                )
+            })
+            .collect();
+        format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+             serde::Value::Object(vec![{entries}])\n}}\n}}"
+        )
+    } else {
+        let variants = unit_variants(body);
+        let arms: String = variants
+            .iter()
+            .map(|v| format!("{name}::{v} => \"{v}\","))
+            .collect();
+        format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+             serde::Value::Str(::std::string::String::from(match self {{ {arms} }}))\n}}\n}}"
+        )
+    };
+    out.parse()
+        .expect("derive(Serialize): generated code parses")
+}
+
+/// Extract field names from a named-field struct body.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match toks.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        // Possible pub(...) restriction group follows.
+                        if let Some(TokenTree::Group(_)) = toks.peek() {
+                            toks.next();
+                        }
+                    } else {
+                        break s;
+                    }
+                }
+                Some(other) => panic!("derive(Serialize): unexpected field token {other}"),
+            }
+        };
+        fields.push(name);
+        // Expect ':' then consume the type up to a top-level comma.
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive(Serialize): expected ':' after field, got {other:?}"),
+        }
+        let mut depth = 0i32; // < > nesting in the type
+        loop {
+            match toks.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Extract variant names from an all-unit-variant enum body.
+fn unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    while let Some(t) = toks.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next();
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                // Unit variants only: next token must be ',' or end.
+                match toks.next() {
+                    None => break,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(other) => {
+                        panic!("derive(Serialize): only unit enum variants supported, got {other}")
+                    }
+                }
+            }
+            other => panic!("derive(Serialize): unexpected enum token {other}"),
+        }
+    }
+    variants
+}

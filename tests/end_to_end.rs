@@ -19,7 +19,12 @@ fn quick(design: Design, tau: f64, seed: u64) -> endpoint_admission::eac::Report
 
 #[test]
 fn same_seed_same_world_across_designs_is_deterministic() {
-    let d = Design::endpoint(Signal::Mark, Placement::OutOfBand, ProbeStyle::SlowStart, 0.05);
+    let d = Design::endpoint(
+        Signal::Mark,
+        Placement::OutOfBand,
+        ProbeStyle::SlowStart,
+        0.05,
+    );
     let a = quick(d, 3.5, 11);
     let b = quick(d, 3.5, 11);
     assert_eq!(a.utilization, b.utilization);
@@ -44,7 +49,11 @@ fn admission_control_actually_limits_load() {
     let d = Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.01);
     let r = quick(d, 1.0, 3);
     assert!(r.blocking > 0.4, "blocking {}", r.blocking);
-    assert!(r.utilization > 0.55 && r.utilization < 1.01, "util {}", r.utilization);
+    assert!(
+        r.utilization > 0.55 && r.utilization < 1.01,
+        "util {}",
+        r.utilization
+    );
     assert!(r.data_loss < 0.1, "loss {}", r.data_loss);
 }
 
@@ -52,7 +61,11 @@ fn admission_control_actually_limits_load() {
 fn probe_overhead_is_modest_at_normal_load() {
     let d = Design::endpoint(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, 0.01);
     let r = quick(d, 3.5, 4);
-    assert!(r.probe_overhead < 0.10, "probe overhead {}", r.probe_overhead);
+    assert!(
+        r.probe_overhead < 0.10,
+        "probe overhead {}",
+        r.probe_overhead
+    );
 }
 
 #[test]

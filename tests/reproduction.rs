@@ -28,7 +28,12 @@ fn fig2_out_of_band_marking_reaches_lower_loss_than_in_band_dropping() {
         21,
     );
     let mark_oob = basic(
-        Design::endpoint(Signal::Mark, Placement::OutOfBand, ProbeStyle::SlowStart, 0.0),
+        Design::endpoint(
+            Signal::Mark,
+            Placement::OutOfBand,
+            ProbeStyle::SlowStart,
+            0.0,
+        ),
         21,
     );
     assert!(
@@ -62,7 +67,12 @@ fn fig2_in_band_dropping_loss_floor() {
 fn fig4_slow_start_beats_simple_probing_under_high_load() {
     let mk = |style| {
         Scenario::basic()
-            .design(Design::endpoint(Signal::Drop, Placement::InBand, style, 0.01))
+            .design(Design::endpoint(
+                Signal::Drop,
+                Placement::InBand,
+                style,
+                0.01,
+            ))
             .tau(1.0)
             .horizon_secs(1_200.0)
             .warmup_secs(250.0)
@@ -114,9 +124,21 @@ fn table3_lower_epsilon_blocks_more_without_helping() {
 fn fig1_fluid_transition_inside_published_range() {
     let before = fluid::ThrashModel::fig1(1.4).point(5_000.0, 4);
     let after = fluid::ThrashModel::fig1(4.5).point(5_000.0, 4);
-    assert!(before.utilization > 0.5, "pre-transition {}", before.utilization);
-    assert!(after.utilization < 0.25, "post-transition {}", after.utilization);
-    assert!(after.loss_in_band > 0.7, "post-transition loss {}", after.loss_in_band);
+    assert!(
+        before.utilization > 0.5,
+        "pre-transition {}",
+        before.utilization
+    );
+    assert!(
+        after.utilization < 0.25,
+        "post-transition {}",
+        after.utilization
+    );
+    assert!(
+        after.loss_in_band > 0.7,
+        "post-transition loss {}",
+        after.loss_in_band
+    );
 }
 
 /// §4.5/Table 4 — endpoint designs discriminate against large flows less
@@ -153,11 +175,21 @@ fn table4_large_flows_blocked_more_than_small() {
 #[test]
 fn loss_load_curve_moves_the_right_way() {
     let strict = basic(
-        Design::endpoint(Signal::Drop, Placement::OutOfBand, ProbeStyle::SlowStart, 0.0),
+        Design::endpoint(
+            Signal::Drop,
+            Placement::OutOfBand,
+            ProbeStyle::SlowStart,
+            0.0,
+        ),
         26,
     );
     let loose = basic(
-        Design::endpoint(Signal::Drop, Placement::OutOfBand, ProbeStyle::SlowStart, 0.20),
+        Design::endpoint(
+            Signal::Drop,
+            Placement::OutOfBand,
+            ProbeStyle::SlowStart,
+            0.20,
+        ),
         26,
     );
     assert!(

@@ -68,14 +68,23 @@ fn run(ac_bps: f64, be_bps: f64) -> (f64, f64) {
     let be_src = net.add_node();
     let router = net.add_node();
     let dst = net.add_node();
-    let fast = || {
-        Box::new(StrictPrio::admission_queue(
-            Limit::Packets(100_000),
-            false,
-        ))
-    };
-    net.add_link(ac_src, router, 1_000_000_000, SimDuration::from_micros(10), fast(), None);
-    net.add_link(be_src, router, 1_000_000_000, SimDuration::from_micros(10), fast(), None);
+    let fast = || Box::new(StrictPrio::admission_queue(Limit::Packets(100_000), false));
+    net.add_link(
+        ac_src,
+        router,
+        1_000_000_000,
+        SimDuration::from_micros(10),
+        fast(),
+        None,
+    );
+    net.add_link(
+        be_src,
+        router,
+        1_000_000_000,
+        SimDuration::from_micros(10),
+        fast(),
+        None,
+    );
     let qdisc = Box::new(StrictPrio::rate_limited_link(
         SHARE,
         Limit::Packets(200),
@@ -116,9 +125,7 @@ fn run(ac_bps: f64, be_bps: f64) -> (f64, f64) {
 
     sim.run_until(SimTime::from_secs(20));
     let stats = &sim.net.link(bottleneck).stats;
-    let rate = |c: TrafficClass| {
-        stats.class(c).transmitted_bytes.total() as f64 * 8.0 / 20.0
-    };
+    let rate = |c: TrafficClass| stats.class(c).transmitted_bytes.total() as f64 * 8.0 / 20.0;
     (rate(TrafficClass::Data), rate(TrafficClass::BestEffort))
 }
 

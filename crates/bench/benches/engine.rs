@@ -8,7 +8,7 @@ use netsim::{
     Agent, Api, Dequeue, DropTail, Drr, FlowId, Limit, Network, NodeId, Packet, Qdisc, Red,
     RedMode, RedParams, Sim, StrictPrio, TokenBucket, TrafficClass, VirtualQueue,
 };
-use simcore::{EventQueue, SimDuration, SimRng, SimTime};
+use simcore::{EventQueue, HeapEventQueue, SimDuration, SimRng, SimTime};
 use traffic::{OnOff, PacketProcess, PeriodDist};
 
 fn pkt(id: u64, class: TrafficClass) -> Packet {
@@ -27,7 +27,8 @@ fn pkt(id: u64, class: TrafficClass) -> Packet {
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("event-queue");
     g.throughput(Throughput::Elements(10_000));
-    g.bench_function("schedule+pop 10k", |b| {
+    // The bulk load: everything scheduled up front, then drained.
+    g.bench_function("calendar schedule+pop 10k", |b| {
         b.iter(|| {
             let mut q: EventQueue<u64> = EventQueue::new();
             for i in 0..10_000u64 {
@@ -36,6 +37,51 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut acc = 0u64;
             while let Some((_, e)) = q.pop() {
                 acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("heap schedule+pop 10k", |b| {
+        b.iter(|| {
+            let mut q: HeapEventQueue<u64> = HeapEventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule_at(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    // The simulator's steady state: a rolling horizon of pending events,
+    // each pop scheduling a short-delay successor.
+    g.bench_function("calendar hold-model 10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..256u64 {
+                q.schedule_at(SimTime::from_nanos(i * 311), i);
+            }
+            let mut acc = 0u64;
+            for _ in 0..10_000u64 {
+                let (_, e) = q.pop().unwrap();
+                acc = acc.wrapping_add(e);
+                q.schedule_in(SimDuration::from_nanos(1 + (e * 7919) % 200_000), e + 1);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("heap hold-model 10k", |b| {
+        b.iter(|| {
+            let mut q: HeapEventQueue<u64> = HeapEventQueue::new();
+            for i in 0..256u64 {
+                q.schedule_at(SimTime::from_nanos(i * 311), i);
+            }
+            let mut acc = 0u64;
+            for _ in 0..10_000u64 {
+                let (_, e) = q.pop().unwrap();
+                acc = acc.wrapping_add(e);
+                q.schedule_in(SimDuration::from_nanos(1 + (e * 7919) % 200_000), e + 1);
             }
             black_box(acc)
         })

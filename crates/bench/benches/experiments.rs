@@ -9,6 +9,7 @@ use eac::design::Design;
 use eac::multihop::MultihopScenario;
 use eac::probe::{Placement, ProbeStyle, Signal};
 use eac::scenario::Scenario;
+use eac_bench::{pool, Sweep};
 use fluid::ThrashModel;
 
 fn short(design: Design) -> Scenario {
@@ -42,14 +43,15 @@ fn bench_figures(c: &mut Criterion) {
                         ProbeStyle::SlowStart,
                         0.01,
                     ))
-                    .run(),
+                    .run()
+                    .unwrap(),
                 )
             })
         });
     }
 
     g.bench_function("fig2 MBAC benchmark", |b| {
-        b.iter(|| black_box(short(Design::mbac(0.9)).run()))
+        b.iter(|| black_box(short(Design::mbac(0.9)).run().unwrap()))
     });
 
     for (name, style) in [
@@ -67,7 +69,8 @@ fn bench_figures(c: &mut Criterion) {
                         0.01,
                     ))
                     .tau(1.0)
-                    .run(),
+                    .run()
+                    .unwrap(),
                 )
             })
         });
@@ -87,7 +90,7 @@ fn bench_figures(c: &mut Criterion) {
                 1.0,
             )])
             .tau(8.0);
-            black_box(s.run())
+            black_box(s.run().unwrap())
         })
     });
 
@@ -97,7 +100,8 @@ fn bench_figures(c: &mut Criterion) {
                 MultihopScenario::tables56()
                     .horizon_secs(120.0)
                     .warmup_secs(30.0)
-                    .run(),
+                    .run()
+                    .unwrap(),
             )
         })
     });
@@ -112,6 +116,33 @@ fn bench_figures(c: &mut Criterion) {
             )
         })
     });
+
+    // The pooled executor on a 4-seed grid, serial vs all workers.
+    let sweep_base = || {
+        Sweep::new(short(Design::endpoint(
+            Signal::Drop,
+            Placement::InBand,
+            ProbeStyle::SlowStart,
+            0.01,
+        )))
+        .seeds(&[1, 2, 3, 4])
+    };
+    g.bench_function("sweep 4 seeds, 1 worker", |b| {
+        b.iter(|| black_box(sweep_base().jobs(1).run().expect_reports()))
+    });
+    g.bench_function(
+        &format!("sweep 4 seeds, {} workers", pool::available_jobs()),
+        |b| {
+            b.iter(|| {
+                black_box(
+                    sweep_base()
+                        .jobs(pool::available_jobs())
+                        .run()
+                        .expect_reports(),
+                )
+            })
+        },
+    );
 
     g.finish();
 }

@@ -1,38 +1,81 @@
 //! CLI regenerating every table and figure of the paper.
 //!
 //! ```text
-//! experiments <target> [--smoke|--quick|--paper]
+//! experiments <target> [--smoke|--quick|--paper] [--jobs N]
 //!
 //! targets: fig1 fig2 fig3 fig4 fig5 fig6 fig7
 //!          fig8a fig8b fig8c fig8d fig8e fig8f fig9 fig11
 //!          table3 table4 tables56
 //!          ablate-probe-duration ablate-vq-factor ablate-pushout ablate-buffer ablate-retry
 //!          robust-flap robust-ctrl-loss
-//!          all          (everything above at the chosen fidelity)
+//!          bench-sweep  (pooled vs serial wall-clock, saves BENCH_sweep.json)
+//!          all          (everything above except bench-sweep)
+//!
+//! --jobs N sets the worker count for every sweep (default: available
+//! parallelism; --jobs 1 forces the serial path). Results are
+//! byte-identical at any worker count.
 //! ```
 
 use eac_bench::experiments as ex;
+use eac_bench::pool;
 use eac_bench::runner::Fidelity;
+
+/// Parse `--jobs N` / `--jobs=N`; exits with usage on a malformed value.
+fn parse_jobs(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let val = if a == "--jobs" {
+            it.next().cloned()
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        match val.as_deref().map(str::parse::<usize>) {
+            Some(Ok(n)) if n >= 1 => return Some(n),
+            _ => {
+                eprintln!("--jobs takes a positive integer (got {val:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    None
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fid = Fidelity::from_args(&args);
+    if let Some(n) = parse_jobs(&args) {
+        pool::set_default_jobs(n);
+    }
+    let mut skip_value = false;
     let target = args
         .iter()
-        .find(|a| !a.starts_with("--"))
+        .find(|a| {
+            if skip_value {
+                skip_value = false;
+                return false;
+            }
+            if *a == "--jobs" {
+                skip_value = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .cloned()
         .unwrap_or_else(|| {
-            eprintln!("usage: experiments <target> [--smoke|--quick|--paper]");
+            eprintln!("usage: experiments <target> [--smoke|--quick|--paper] [--jobs N]");
             eprintln!("targets: fig1 fig2 fig3 fig4..fig7 fig8a..fig8f fig9 fig11");
-            eprintln!("         table3 table4 tables56 ablate-* robust-* all");
+            eprintln!("         table3 table4 tables56 ablate-* robust-* bench-sweep all");
             std::process::exit(2);
         });
 
     let t0 = std::time::Instant::now();
     run(&target, fid);
     eprintln!(
-        "\n[{target} done in {:.1?} at {fid:?} fidelity]",
-        t0.elapsed()
+        "\n[{target} done in {:.1?} at {fid:?} fidelity, {} worker(s)]",
+        t0.elapsed(),
+        pool::default_jobs()
     );
 }
 
@@ -63,6 +106,7 @@ fn run(target: &str, fid: Fidelity) {
         "ablate-retry" => ex::ablate("retry", fid),
         "robust-flap" => ex::robust_flap(fid),
         "robust-ctrl-loss" => ex::robust_ctrl_loss(fid),
+        "bench-sweep" => ex::bench_sweep(fid),
         "all" => {
             for t in [
                 "fig1",

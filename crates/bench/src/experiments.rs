@@ -3,13 +3,15 @@
 
 use crate::catalog::{design, endpoint_designs, eps_grid, fig9_eps, Workload, ETAS_MBAC};
 use crate::output::{fmt_prob, print_table, save_json};
-use crate::runner::{loss_load_curve, run_seeds_isolated, Fidelity};
+use crate::pool;
+use crate::runner::{loss_load_curve, run_seeds, run_seeds_isolated, Fidelity};
+use crate::sweep::Sweep;
 use eac::coexist::CoexistScenario;
 use eac::design::{Design, Group};
 use eac::metrics::Report;
 use eac::multihop::{product_blocking, MultihopScenario};
 use eac::probe::{Placement, ProbeStyle, Signal};
-use eac::scenario::{run_seeds, Scenario};
+use eac::scenario::Scenario;
 use traffic::SourceSpec;
 
 fn curve_rows(label: &str, reports: &[Report]) -> Vec<Vec<String>> {
@@ -295,16 +297,23 @@ pub fn tables56(fid: Fidelity) {
     let mut ser: Vec<Report> = Vec::new();
     let mut run_one = |label: String, d: Design| {
         let (h, w) = fid.lengths();
-        let reports: Vec<Report> = fid
-            .seeds()
-            .iter()
-            .map(|&seed| {
-                MultihopScenario::tables56()
-                    .design(d)
-                    .horizon_secs(h)
-                    .warmup_secs(w)
-                    .seed(seed)
-                    .run()
+        let seeds = fid.seeds();
+        // Multihop scenarios are not `Scenario`s, so fan the seeds out on
+        // the pool directly; slot order keeps the average bit-identical.
+        let raw = pool::run_indexed(seeds.len(), pool::default_jobs(), |i| {
+            MultihopScenario::tables56()
+                .design(d)
+                .horizon_secs(h)
+                .warmup_secs(w)
+                .seed(seeds[i])
+                .run()
+        });
+        let reports: Vec<Report> = raw
+            .into_iter()
+            .map(|r| match r {
+                Ok(Ok(rep)) => rep,
+                Ok(Err(e)) => panic!("{e}"),
+                Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect();
         let r = Report::average(&reports);
@@ -360,12 +369,17 @@ pub fn fig11(fid: Fidelity) {
     };
     let mut rows = Vec::new();
     let mut ser = Vec::new();
-    for eps in [0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.08, 0.10] {
-        let r = CoexistScenario::fig11(eps)
+    let eps_points = [0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.08, 0.10];
+    let raw = pool::run_indexed(eps_points.len(), pool::default_jobs(), |i| {
+        CoexistScenario::fig11(eps_points[i])
             .horizon_secs(horizon)
             .steady_after_secs(steady)
             .seed(1)
-            .run();
+            .run()
+    });
+    for (i, result) in raw.into_iter().enumerate() {
+        let eps = eps_points[i];
+        let r = result.unwrap_or_else(|payload| std::panic::resume_unwind(payload));
         rows.push(vec![
             format!("{eps:.2}"),
             format!("{:.3}", r.tcp_util),
@@ -655,4 +669,99 @@ pub fn robust_ctrl_loss(fid: Fidelity) {
         &rows,
     );
     save_json("robust-ctrl-loss", &ser);
+}
+
+/// What `bench_sweep` measures and persists as `BENCH_sweep.json`.
+#[derive(Debug, serde::Serialize)]
+pub struct SweepBenchRecord {
+    /// Fidelity the sweep ran at.
+    pub fidelity: String,
+    /// design × seed grid size.
+    pub jobs_in_grid: usize,
+    /// Worker count used for the parallel pass.
+    pub parallel_jobs: usize,
+    /// Host parallelism (`available_parallelism`).
+    pub host_parallelism: usize,
+    /// Wall-clock seconds, one worker.
+    pub serial_s: f64,
+    /// Wall-clock seconds, `parallel_jobs` workers.
+    pub parallel_s: f64,
+    /// serial_s / parallel_s.
+    pub speedup: f64,
+    /// Total simulator events fired across the grid.
+    pub total_events: u64,
+    /// Events per second, one worker.
+    pub serial_events_per_s: f64,
+    /// Events per second, `parallel_jobs` workers.
+    pub parallel_events_per_s: f64,
+    /// Whether serial and parallel reports serialized byte-identically.
+    pub byte_identical: bool,
+}
+
+/// bench-sweep — wall-clock the pooled executor against the serial path
+/// on the Fig 2 in-band-dropping sweep and persist `BENCH_sweep.json`.
+///
+/// The same grid runs twice — once with one worker (the serial loop,
+/// no threads) and once with the session's worker count — and the two
+/// result sets are compared byte-for-byte after serialization.
+pub fn bench_sweep(fid: Fidelity) {
+    println!("# bench-sweep — pooled vs serial executor (Fig 2 in-band dropping)\n");
+    let designs: Vec<Design> = eps_grid(Placement::InBand)
+        .into_iter()
+        .map(|e| design(Signal::Drop, Placement::InBand, ProbeStyle::SlowStart, e))
+        .collect();
+    let sweep = Sweep::new(fid.apply(Workload::Basic.scenario()))
+        .designs(&designs)
+        .seeds(&fid.seeds());
+    let grid = designs.len() * fid.seeds().len();
+    let parallel_jobs = pool::default_jobs();
+
+    let t0 = std::time::Instant::now();
+    let serial = sweep.clone().jobs(1).run().expect_reports();
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let parallel = sweep.clone().jobs(parallel_jobs).run().expect_reports();
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    let byte_identical = serde_json::to_string(&serial).expect("serialize reports")
+        == serde_json::to_string(&parallel).expect("serialize reports");
+    let total_events: u64 = serial.iter().map(|r| r.events).sum();
+    let record = SweepBenchRecord {
+        fidelity: format!("{fid:?}"),
+        jobs_in_grid: grid,
+        parallel_jobs,
+        host_parallelism: pool::available_jobs(),
+        serial_s,
+        parallel_s,
+        speedup: serial_s / parallel_s.max(1e-9),
+        total_events,
+        serial_events_per_s: total_events as f64 / serial_s.max(1e-9),
+        parallel_events_per_s: total_events as f64 / parallel_s.max(1e-9),
+        byte_identical,
+    };
+    print_table(
+        &["workers", "wall-clock s", "events/s"],
+        &[
+            vec![
+                "1".into(),
+                format!("{serial_s:.2}"),
+                format!("{:.0}", record.serial_events_per_s),
+            ],
+            vec![
+                format!("{parallel_jobs}"),
+                format!("{parallel_s:.2}"),
+                format!("{:.0}", record.parallel_events_per_s),
+            ],
+        ],
+    );
+    println!(
+        "\nspeedup {:.2}x on host parallelism {}; byte-identical: {}",
+        record.speedup, record.host_parallelism, record.byte_identical
+    );
+    assert!(
+        byte_identical,
+        "parallel sweep diverged from serial — determinism contract broken"
+    );
+    save_json("BENCH_sweep", &record);
 }

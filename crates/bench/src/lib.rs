@@ -3,14 +3,19 @@
 //! One entry point per table and figure of the paper (see the
 //! `experiments` binary), plus shared machinery: the workload catalogue
 //! (§3.2/Table 2), the design sweeps (§3.2's ε grids), run-length
-//! presets (`--quick` vs `--paper`), aligned table printing and JSON
-//! persistence under `results/`.
+//! presets (`--quick` vs `--paper`), the work pool and [`sweep::Sweep`]
+//! builder that parallelize every multi-run experiment deterministically,
+//! aligned table printing and JSON persistence under `results/`.
 
 pub mod catalog;
 pub mod experiments;
 pub mod output;
+pub mod pool;
 pub mod runner;
+pub mod sweep;
 
 pub use catalog::{Workload, EPS_IN_BAND, EPS_OUT_OF_BAND, ETAS_MBAC};
 pub use output::{print_table, save_json};
-pub use runner::{loss_load_curve, run_seeds_isolated, Fidelity, SeedOutcome};
+pub use pool::{available_jobs, default_jobs, set_default_jobs};
+pub use runner::{loss_load_curve, run_seeds, run_seeds_isolated, Fidelity, SeedOutcome};
+pub use sweep::{Sweep, SweepResult};

@@ -1,9 +1,13 @@
-//! Run-length presets and curve runners.
+//! Run-length presets and compatibility shims over [`crate::sweep::Sweep`].
+//!
+//! The serial curve/seed runners that used to live here are now one-line
+//! wrappers around the pooled sweep builder; they keep their exact
+//! historical semantics (including error strings) at any worker count.
 
+use crate::sweep::Sweep;
 use eac::design::Design;
 use eac::metrics::Report;
-use eac::scenario::{run_seeds, Scenario};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use eac::scenario::Scenario;
 
 /// How long and how many seeds to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,15 +59,24 @@ impl Fidelity {
 }
 
 /// Run `base` under each design, averaging across the fidelity's seeds;
-/// produces the points of one loss-load curve per design.
+/// produces the points of one loss-load curve per design. Shim over
+/// [`Sweep`]; jobs come from the session default (`--jobs`).
 pub fn loss_load_curve(base: &Scenario, designs: &[Design], fid: Fidelity) -> Vec<Report> {
-    designs
-        .iter()
-        .map(|&d| {
-            let s = fid.apply(base.clone().design(d));
-            run_seeds(&s, &fid.seeds())
-        })
-        .collect()
+    Sweep::new(fid.apply(base.clone()))
+        .designs(designs)
+        .seeds(&fid.seeds())
+        .run()
+        .expect_reports()
+}
+
+/// Run `base` across the fidelity's seeds under its own design, averaging
+/// the reports. Shim over [`Sweep`].
+pub fn run_seeds(base: &Scenario, seeds: &[u64]) -> Report {
+    Sweep::new(base.clone())
+        .seeds(seeds)
+        .run()
+        .expect_reports()
+        .remove(0)
 }
 
 /// What happened to one seed of an isolated multi-seed run.
@@ -94,57 +107,16 @@ impl SeedOutcome {
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else {
-        "panic with non-string payload".to_string()
-    }
-}
-
 /// Run `base` once per seed with each seed isolated: a panic or graceful
 /// error in one seed is recorded and does not take down the sweep. Returns
 /// the average report over surviving seeds (Err if none survived) plus the
-/// per-seed outcomes.
+/// per-seed outcomes. Shim over [`Sweep`] with `.isolated(true)`.
 pub fn run_seeds_isolated(
     base: &Scenario,
     seeds: &[u64],
 ) -> (Result<Report, String>, Vec<SeedOutcome>) {
-    let mut reports = Vec::new();
-    let mut outcomes = Vec::new();
-    for &seed in seeds {
-        let s = base.clone().seed(seed);
-        match catch_unwind(AssertUnwindSafe(|| s.try_run())) {
-            Ok(Ok(report)) => {
-                reports.push(report);
-                outcomes.push(SeedOutcome::Ok { seed });
-            }
-            Ok(Err(e)) => outcomes.push(SeedOutcome::Error {
-                seed,
-                message: e.to_string(),
-            }),
-            Err(payload) => outcomes.push(SeedOutcome::Panic {
-                seed,
-                message: panic_message(payload),
-            }),
-        }
-    }
-    let avg = if reports.is_empty() {
-        let detail: Vec<String> = outcomes
-            .iter()
-            .map(|o| match o {
-                SeedOutcome::Ok { seed } => format!("seed {seed}: ok"),
-                SeedOutcome::Error { seed, message } => format!("seed {seed}: error: {message}"),
-                SeedOutcome::Panic { seed, message } => format!("seed {seed}: panic: {message}"),
-            })
-            .collect();
-        Err(format!("no seed survived ({})", detail.join("; ")))
-    } else {
-        Ok(Report::average(&reports))
-    };
-    (avg, outcomes)
+    let mut result = Sweep::new(base.clone()).seeds(seeds).isolated(true).run();
+    (result.reports.remove(0), result.outcomes.remove(0))
 }
 
 #[cfg(test)]
@@ -199,7 +171,7 @@ mod tests {
 
     #[test]
     fn isolated_runner_contains_panics() {
-        // warmup >= horizon trips an assert inside try_run; the panic must
+        // warmup >= horizon trips an assert inside run(); the panic must
         // stay confined to its seed.
         let bad = Scenario::basic().horizon_secs(100.0).warmup_secs(100.0);
         let (avg, outcomes) = run_seeds_isolated(&bad, &[7]);

@@ -1,0 +1,251 @@
+//! The sweep builder: one entry point for every multi-run experiment.
+//!
+//! A [`Sweep`] fans the design × seed grid out over the [`pool`] and
+//! averages each design's surviving seeds into one [`Report`]. It
+//! subsumes the old `run_seeds` (one design, several seeds),
+//! `loss_load_curve` (several designs) and `run_seeds_isolated` (per-seed
+//! panic/error containment) free functions, which remain as thin shims.
+//!
+//! Determinism: jobs are laid out design-major (`design * seeds + seed`),
+//! results come back from the pool in job-index order, and each design's
+//! reports are averaged in seed order — the identical f64 summation order
+//! a serial loop performs — so sweep output is bit-identical at any
+//! worker count.
+
+use crate::pool::{self, run_indexed};
+use crate::runner::SeedOutcome;
+use eac::design::Design;
+use eac::metrics::Report;
+use eac::scenario::Scenario;
+
+/// Turn a caught panic payload into a displayable message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Results of a [`Sweep`]: one averaged report and one per-seed outcome
+/// list per design, in the order the designs were given.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Per design: the average report over surviving seeds, or an error
+    /// describing why no seed survived.
+    pub reports: Vec<Result<Report, String>>,
+    /// Per design, per seed: what happened.
+    pub outcomes: Vec<Vec<SeedOutcome>>,
+}
+
+impl SweepResult {
+    /// Unwrap every per-design report, panicking with the recorded
+    /// message if any design had no surviving seed.
+    pub fn expect_reports(self) -> Vec<Report> {
+        self.reports
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect()
+    }
+
+    /// True if every seed of every design completed.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|per_design| per_design.iter().all(|o| o.is_ok()))
+    }
+}
+
+/// A multi-run experiment: one base scenario swept over designs and
+/// seeds, executed on the work pool.
+///
+/// ```no_run
+/// use eac_bench::Sweep;
+/// use eac::scenario::Scenario;
+///
+/// let result = Sweep::new(Scenario::basic())
+///     .seeds(&[1, 2, 3])
+///     .jobs(4)
+///     .isolated(true)
+///     .run();
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    base: Scenario,
+    designs: Vec<Design>,
+    seeds: Vec<u64>,
+    jobs: usize,
+    isolated: bool,
+}
+
+impl Sweep {
+    /// A sweep of just the base scenario's own design and seed.
+    pub fn new(base: Scenario) -> Self {
+        let designs = vec![base.design];
+        let seeds = vec![base.seed];
+        Sweep {
+            base,
+            designs,
+            seeds,
+            jobs: 0,
+            isolated: false,
+        }
+    }
+
+    /// Sweep these designs (default: the base scenario's design).
+    pub fn designs(mut self, designs: &[Design]) -> Self {
+        assert!(!designs.is_empty());
+        self.designs = designs.to_vec();
+        self
+    }
+
+    /// Average over these seeds (default: the base scenario's seed).
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        assert!(!seeds.is_empty());
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Worker threads to use; 0 (the default) resolves to the session
+    /// default ([`pool::default_jobs`] — the `--jobs` flag, or available
+    /// parallelism). 1 runs inline with no threads.
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = n;
+        self
+    }
+
+    /// With isolation, a panicking or erroring seed is recorded in the
+    /// outcomes and excluded from its design's average instead of
+    /// propagating; a design errors only when *no* seed survives.
+    /// Without (the default), the first failure in grid order propagates
+    /// as a panic, as the old serial runners did.
+    pub fn isolated(mut self, yes: bool) -> Self {
+        self.isolated = yes;
+        self
+    }
+
+    /// Run the design × seed grid on the pool and fold the results.
+    pub fn run(&self) -> SweepResult {
+        let n_seeds = self.seeds.len();
+        let n_jobs = self.designs.len() * n_seeds;
+        let workers = if self.jobs == 0 {
+            pool::default_jobs()
+        } else {
+            self.jobs
+        };
+
+        let raw = run_indexed(n_jobs, workers, |i| {
+            let design = self.designs[i / n_seeds];
+            let seed = self.seeds[i % n_seeds];
+            self.base.clone().design(design).seed(seed).run()
+        });
+
+        let mut reports = Vec::with_capacity(self.designs.len());
+        let mut outcomes = Vec::with_capacity(self.designs.len());
+        let mut raw = raw.into_iter();
+        for _ in 0..self.designs.len() {
+            let mut survivors = Vec::with_capacity(n_seeds);
+            let mut per_seed = Vec::with_capacity(n_seeds);
+            for &seed in &self.seeds {
+                match raw.next().expect("one result per job") {
+                    Ok(Ok(report)) => {
+                        survivors.push(report);
+                        per_seed.push(SeedOutcome::Ok { seed });
+                    }
+                    Ok(Err(e)) => {
+                        if !self.isolated {
+                            panic!("{e}");
+                        }
+                        per_seed.push(SeedOutcome::Error {
+                            seed,
+                            message: e.to_string(),
+                        });
+                    }
+                    Err(payload) => {
+                        if !self.isolated {
+                            std::panic::resume_unwind(payload);
+                        }
+                        per_seed.push(SeedOutcome::Panic {
+                            seed,
+                            message: panic_message(payload),
+                        });
+                    }
+                }
+            }
+            let avg = if survivors.is_empty() {
+                let detail: Vec<String> = per_seed
+                    .iter()
+                    .map(|o| match o {
+                        SeedOutcome::Ok { seed } => format!("seed {seed}: ok"),
+                        SeedOutcome::Error { seed, message } => {
+                            format!("seed {seed}: error: {message}")
+                        }
+                        SeedOutcome::Panic { seed, message } => {
+                            format!("seed {seed}: panic: {message}")
+                        }
+                    })
+                    .collect();
+                Err(format!("no seed survived ({})", detail.join("; ")))
+            } else {
+                Ok(Report::average(&survivors))
+            };
+            reports.push(avg);
+            outcomes.push(per_seed);
+        }
+
+        SweepResult { reports, outcomes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_base() -> Scenario {
+        Scenario::basic().horizon_secs(400.0).warmup_secs(100.0)
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bitwise() {
+        let base = quick_base();
+        let serial = Sweep::new(base.clone()).seeds(&[1, 2]).jobs(1).run();
+        let parallel = Sweep::new(base).seeds(&[1, 2]).jobs(8).run();
+        let a = serial.expect_reports();
+        let b = parallel.expect_reports();
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb, "parallel sweep diverged from serial");
+    }
+
+    #[test]
+    fn isolated_sweep_records_failures_without_dying() {
+        // An absurdly small event budget errors every seed gracefully.
+        let base = quick_base().event_budget(50);
+        let result = Sweep::new(base).seeds(&[1, 2]).jobs(2).isolated(true).run();
+        assert!(result.reports[0].is_err());
+        assert!(result.outcomes[0]
+            .iter()
+            .all(|o| matches!(o, SeedOutcome::Error { .. })));
+    }
+
+    #[test]
+    fn isolated_sweep_contains_panics() {
+        // warmup >= horizon trips an assert inside run(); the panic must
+        // stay confined to its seed while the good seed survives.
+        let base = quick_base();
+        let mut bad = base.clone();
+        bad.warmup_s = bad.horizon_s;
+        let result = Sweep::new(bad).seeds(&[1]).jobs(2).isolated(true).run();
+        assert!(result.reports[0].is_err());
+        assert!(matches!(result.outcomes[0][0], SeedOutcome::Panic { .. }));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unisolated_sweep_propagates_failures() {
+        let base = quick_base().event_budget(50);
+        Sweep::new(base).seeds(&[1]).jobs(1).run();
+    }
+}

@@ -5,12 +5,14 @@ fn main() {
         .horizon_secs(1000.0)
         .warmup_secs(200.0)
         .seed(1)
-        .run();
+        .run()
+        .expect("no watchdogs armed");
+    let dt = t0.elapsed();
     println!(
-        "1000s sim in {:.2?}: util {:.3} loss {:.5} blocking {:.3}",
-        t0.elapsed(),
+        "1000s sim in {dt:.2?}: util {:.3} loss {:.5} blocking {:.3} ({:.0} events/s)",
         r.utilization,
         r.data_loss,
-        r.blocking
+        r.blocking,
+        r.events as f64 / dt.as_secs_f64()
     );
 }

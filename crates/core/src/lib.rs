@@ -21,7 +21,8 @@
 //!                              ProbeStyle::SlowStart, 0.01))
 //!     .horizon_secs(120.0)
 //!     .warmup_secs(30.0)
-//!     .run();
+//!     .run()
+//!     .expect("no watchdogs armed");
 //! println!("utilization {:.3}, loss {:.5}", report.utilization, report.data_loss);
 //! ```
 
@@ -41,4 +42,6 @@ pub use design::{Design, Group};
 pub use metrics::{GroupReport, Report};
 pub use multihop::MultihopScenario;
 pub use probe::{Placement, ProbePlan, ProbeStyle, Signal, Stage};
-pub use scenario::{run_seeds, Scenario};
+#[allow(deprecated)]
+pub use scenario::run_seeds;
+pub use scenario::{RunConfig, Scenario, ScenarioError};

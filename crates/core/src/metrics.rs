@@ -68,6 +68,9 @@ pub struct Report {
     pub leaked_flows: u64,
     /// Measurement interval, seconds (horizon − warm-up).
     pub measured_s: f64,
+    /// Simulation events processed over the whole run (throughput metric
+    /// for the bench harness; summed when averaging seeds).
+    pub events: u64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -90,6 +93,7 @@ impl Report {
         out.delay_ms_std = mean(|r| r.delay_ms_std);
         out.timeouts = reports.iter().map(|r| r.timeouts).sum();
         out.leaked_flows = reports.iter().map(|r| r.leaked_flows).sum();
+        out.events = reports.iter().map(|r| r.events).sum();
         for (i, lu) in out.link_utils.iter_mut().enumerate() {
             *lu = reports.iter().map(|r| r.link_utils[i]).sum::<f64>() / n;
         }
@@ -144,6 +148,7 @@ mod tests {
             timeouts: 0,
             leaked_flows: 0,
             measured_s: 100.0,
+            events: 10,
             seed: 1,
         }
     }

@@ -21,7 +21,7 @@ use crate::host::{HostAgent, HostConfig};
 use crate::mbac::MbacRegistry;
 use crate::metrics::{GroupReport, Report};
 use crate::probe::{Placement, Signal};
-use crate::scenario::MeterAgent;
+use crate::scenario::{MeterAgent, RunConfig, ScenarioError};
 use crate::sink::{stage_grace, SinkAgent, SinkConfig};
 use netsim::{
     DropTail, Limit, LinkId, Network, NodeId, Sim, StrictPrio, TrafficClass, VirtualQueue,
@@ -58,6 +58,8 @@ pub struct MultihopScenario {
     pub warmup_s: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Watchdogs and post-run checks (see [`RunConfig`]).
+    pub run_config: RunConfig,
 }
 
 impl MultihopScenario {
@@ -85,6 +87,7 @@ impl MultihopScenario {
             horizon_s: 3_000.0,
             warmup_s: 500.0,
             seed: 1,
+            run_config: RunConfig::default(),
         }
     }
 
@@ -112,6 +115,25 @@ impl MultihopScenario {
         self
     }
 
+    /// Check packet conservation over the whole 13-node topology before
+    /// reporting.
+    pub fn audited(mut self) -> Self {
+        self.run_config.audit = true;
+        self
+    }
+
+    /// Cap total simulation events (event-storm watchdog).
+    pub fn event_budget(mut self, budget: u64) -> Self {
+        self.run_config.event_budget = Some(budget);
+        self
+    }
+
+    /// Replace the whole run supervision config at once.
+    pub fn with_run_config(mut self, cfg: RunConfig) -> Self {
+        self.run_config = cfg;
+        self
+    }
+
     fn ac_qdisc(&self) -> Box<StrictPrio> {
         Box::new(StrictPrio::admission_queue(
             Limit::Packets(self.buffer_pkts),
@@ -132,21 +154,10 @@ impl MultihopScenario {
 
     /// Build and run; returns a [`Report`] whose groups are
     /// `cross-0`, `cross-1`, `cross-2`, `long` (in that order), with
-    /// `link_utils` holding the three backbone utilizations.
-    pub fn run(&self) -> Report {
-        match self.run_inner(false) {
-            Ok(r) => r,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Like [`run`](Self::run), but check packet conservation over the
-    /// whole 13-node topology before reporting.
-    pub fn run_audited(&self) -> Result<Report, netsim::AuditError> {
-        self.run_inner(true)
-    }
-
-    fn run_inner(&self, audit: bool) -> Result<Report, netsim::AuditError> {
+    /// `link_utils` holding the three backbone utilizations — or a
+    /// graceful error, as configured by the scenario's [`RunConfig`].
+    /// Without watchdogs armed it cannot fail.
+    pub fn run(&self) -> Result<Report, ScenarioError> {
         let root = SimRng::new(self.seed);
         let prop = SimDuration::from_secs_f64(self.prop_delay_ms / 1_000.0);
         let fast = |n: &mut Network, a: NodeId, b: NodeId| {
@@ -195,6 +206,12 @@ impl MultihopScenario {
         }
 
         let mut sim = Sim::new(net);
+        if let Some(budget) = self.run_config.event_budget {
+            sim.set_event_budget(budget);
+        }
+        if self.run_config.wants_lenient() {
+            sim.set_lenient_scheduling(true);
+        }
 
         if let Design::Mbac { eta } = self.design {
             let mut reg = MbacRegistry::new(eta);
@@ -298,7 +315,7 @@ impl MultihopScenario {
 
         // Run with warm-up marking and a drain (as in the single-link
         // scenario).
-        sim.run_until(warmup);
+        sim.try_run_until(warmup)?;
         for l in sim.net.links_mut() {
             l.stats.mark_all();
         }
@@ -308,7 +325,7 @@ impl MultihopScenario {
         for &s in cross_sinks.iter().chain([long_sink].iter()) {
             sim.agent::<SinkAgent>(s).expect("sink").stats.mark_all();
         }
-        sim.run_until(horizon);
+        sim.try_run_until(horizon)?;
         let measured = SimDuration::from_secs_f64(self.horizon_s - self.warmup_s);
         let link_utils: Vec<f64> = backbone
             .iter()
@@ -324,7 +341,7 @@ impl MultihopScenario {
             .map(|&l| sim.net.link(l).stats.drop_fraction(TrafficClass::Data))
             .sum::<f64>()
             / 3.0;
-        sim.run_until(horizon + SimDuration::from_secs(5));
+        sim.try_run_until(horizon + SimDuration::from_secs(5))?;
 
         // Collect per-population results. Host i's stats live in its own
         // group slot; sinks count data per global group index.
@@ -383,7 +400,7 @@ impl MultihopScenario {
             Design::Mbac { eta } => eta,
         };
 
-        if audit {
+        if self.run_config.audit {
             sim.check_conservation()?;
         }
 
@@ -411,8 +428,29 @@ impl MultihopScenario {
             timeouts,
             leaked_flows,
             measured_s: measured.as_secs_f64(),
+            events: sim.queue.events_fired(),
             seed: self.seed,
         })
+    }
+
+    /// Like [`run`](Self::run) with the conservation audit forced on,
+    /// returning just the audit error.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `.audited().run()`, which reports all run errors"
+    )]
+    pub fn run_audited(&self) -> Result<Report, netsim::AuditError> {
+        match self.clone().audited().run() {
+            Ok(r) => Ok(r),
+            Err(ScenarioError::Audit(e)) => Err(e),
+            Err(ScenarioError::Run(e)) => panic!("{e}"),
+        }
+    }
+
+    /// Build and run, panicking on any [`ScenarioError`].
+    #[deprecated(since = "0.2.0", note = "use `run()` and handle the Result")]
+    pub fn run_or_panic(&self) -> Report {
+        self.run().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -443,7 +481,8 @@ mod tests {
             .horizon_secs(600.0)
             .warmup_secs(150.0)
             .seed(3)
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(r.groups.len(), 4);
         let long = &r.groups[3];
         let cross_avg = (r.groups[0].blocking + r.groups[1].blocking + r.groups[2].blocking) / 3.0;

@@ -82,6 +82,34 @@ impl From<AuditError> for ScenarioError {
     }
 }
 
+/// How a run is *supervised*, as opposed to what is simulated: watchdogs
+/// armed during the run and checks applied after it. One `RunConfig`
+/// drives every scenario type's single fallible `run()` entry point.
+///
+/// When any watchdog is armed (audit or event budget), the run also
+/// switches the calendar to lenient scheduling: an event scheduled behind
+/// the clock surfaces as [`RunError::ScheduledIntoPast`] — a counted,
+/// per-seed failure — instead of panicking the whole process (and with it
+/// a pooled sweep's worker).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunConfig {
+    /// Verify packet conservation after the run.
+    pub audit: bool,
+    /// Cap on total simulation events (event-storm watchdog).
+    pub event_budget: Option<u64>,
+    /// Host-side verdict timeout, seconds (lost verdicts resolve as
+    /// rejections after this long). `None` = wait forever.
+    pub verdict_timeout_s: Option<f64>,
+}
+
+impl RunConfig {
+    /// True if any watchdog that wants graceful (non-panicking) failure
+    /// handling is armed.
+    pub fn wants_lenient(&self) -> bool {
+        self.audit || self.event_budget.is_some()
+    }
+}
+
 /// A single-bottleneck experiment configuration (builder style).
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -125,14 +153,8 @@ pub struct Scenario {
     pub control_loss: f64,
     /// Scheduled bottleneck outages, as `(down_s, up_s)` windows.
     pub flaps_s: Vec<(f64, f64)>,
-    /// Host-side verdict timeout, seconds (lost verdicts resolve as
-    /// rejections after this long). `None` = wait forever.
-    pub verdict_timeout_s: Option<f64>,
-    /// Verify packet conservation after the run (cheap; returns an error
-    /// from [`Scenario::try_run`] on violation).
-    pub audit: bool,
-    /// Cap on total simulation events (event-storm watchdog).
-    pub event_budget: Option<u64>,
+    /// Watchdogs and post-run checks (see [`RunConfig`]).
+    pub run_config: RunConfig,
 }
 
 impl Scenario {
@@ -165,9 +187,7 @@ impl Scenario {
             seed: 1,
             control_loss: 0.0,
             flaps_s: Vec::new(),
-            verdict_timeout_s: None,
-            audit: false,
-            event_budget: None,
+            run_config: RunConfig::default(),
         }
     }
 
@@ -246,19 +266,25 @@ impl Scenario {
     /// Resolve missing verdicts as rejections after this many seconds.
     pub fn verdict_timeout(mut self, s: f64) -> Self {
         assert!(s > 0.0);
-        self.verdict_timeout_s = Some(s);
+        self.run_config.verdict_timeout_s = Some(s);
         self
     }
 
     /// Enable the packet-conservation audit.
     pub fn audited(mut self) -> Self {
-        self.audit = true;
+        self.run_config.audit = true;
         self
     }
 
     /// Cap total simulation events (event-storm watchdog).
     pub fn event_budget(mut self, budget: u64) -> Self {
-        self.event_budget = Some(budget);
+        self.run_config.event_budget = Some(budget);
+        self
+    }
+
+    /// Replace the whole run supervision config at once.
+    pub fn with_run_config(mut self, cfg: RunConfig) -> Self {
+        self.run_config = cfg;
         self
     }
 
@@ -271,19 +297,15 @@ impl Scenario {
             .unwrap_or(125)
     }
 
-    /// Build and run the simulation, producing a [`Report`]. Panics on a
-    /// [`ScenarioError`]; use [`try_run`](Scenario::try_run) where faults
-    /// or watchdogs are configured and a graceful error is wanted.
-    pub fn run(&self) -> Report {
-        match self.try_run() {
-            Ok(r) => r,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Build and run the simulation, producing a [`Report`] or a graceful
-    /// error (exhausted event budget, failed conservation audit).
-    pub fn try_run(&self) -> Result<Report, ScenarioError> {
+    /// error (exhausted event budget, scheduling violation, failed
+    /// conservation audit), as configured by the scenario's [`RunConfig`].
+    ///
+    /// This is the single entry point for every run. Without watchdogs
+    /// armed it cannot fail; callers that want the old infallible
+    /// behaviour can `.unwrap()` (or use the deprecated
+    /// [`run_or_panic`](Scenario::run_or_panic) shim).
+    pub fn run(&self) -> Result<Report, ScenarioError> {
         assert!(self.warmup_s < self.horizon_s);
         let root = SimRng::new(self.seed);
 
@@ -353,7 +375,10 @@ impl Scenario {
             stop_arrivals_at: horizon,
             start_arrivals_at: SimTime::ZERO,
             retry: self.retry,
-            verdict_timeout: self.verdict_timeout_s.map(SimDuration::from_secs_f64),
+            verdict_timeout: self
+                .run_config
+                .verdict_timeout_s
+                .map(SimDuration::from_secs_f64),
             measure_start: warmup,
             measure_end: horizon,
         };
@@ -396,8 +421,11 @@ impl Scenario {
         if !plan.is_empty() {
             sim.install_faults(plan, root.derive(99));
         }
-        if let Some(budget) = self.event_budget {
+        if let Some(budget) = self.run_config.event_budget {
             sim.set_event_budget(budget);
+        }
+        if self.run_config.wants_lenient() {
+            sim.set_lenient_scheduling(true);
         }
 
         // Warm up, snapshot, measure, then drain so every in-window data
@@ -420,10 +448,23 @@ impl Scenario {
         let link_metrics = self.read_link_metrics(&sim, bottleneck);
         sim.try_run_until(horizon + SimDuration::from_secs(5))?;
 
-        if self.audit {
+        if self.run_config.audit {
             sim.check_conservation()?;
         }
         Ok(self.collect(&mut sim, host_n, sink_n, link_metrics))
+    }
+
+    /// Build and run the simulation, producing a [`Report`] or a graceful
+    /// error.
+    #[deprecated(since = "0.2.0", note = "use `run()`, which is now fallible")]
+    pub fn try_run(&self) -> Result<Report, ScenarioError> {
+        self.run()
+    }
+
+    /// Build and run the simulation, panicking on any [`ScenarioError`].
+    #[deprecated(since = "0.2.0", note = "use `run()` and handle the Result")]
+    pub fn run_or_panic(&self) -> Report {
+        self.run().unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn read_link_metrics(&self, sim: &Sim, bottleneck: netsim::LinkId) -> (f64, f64, f64, f64) {
@@ -563,15 +604,23 @@ impl Scenario {
             timeouts,
             leaked_flows: host_stranded + sink_undecided,
             measured_s: measured.as_secs_f64(),
+            events: sim.queue.events_fired(),
             seed: self.seed,
         }
     }
 }
 
 /// Run a scenario across several seeds and average the reports.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the bench crate's `Sweep` builder, which parallelizes and isolates"
+)]
 pub fn run_seeds(base: &Scenario, seeds: &[u64]) -> Report {
     assert!(!seeds.is_empty());
-    let reports: Vec<Report> = seeds.iter().map(|&s| base.clone().seed(s).run()).collect();
+    let reports: Vec<Report> = seeds
+        .iter()
+        .map(|&s| base.clone().seed(s).run().unwrap_or_else(|e| panic!("{e}")))
+        .collect();
     Report::average(&reports)
 }
 
@@ -587,6 +636,7 @@ mod tests {
             .warmup_secs(60.0)
             .seed(7)
             .run()
+            .unwrap()
     }
 
     #[test]
@@ -598,7 +648,8 @@ mod tests {
             .horizon_secs(400.0)
             .warmup_secs(50.0)
             .seed(3)
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(r.blocking, 0.0, "{r:?}");
         assert!(r.data_loss < 1e-4, "loss {}", r.data_loss);
         assert!(
@@ -617,7 +668,8 @@ mod tests {
             .horizon_secs(500.0)
             .warmup_secs(100.0)
             .seed(5)
-            .run();
+            .run()
+            .unwrap();
         assert!(r.blocking > 0.4, "blocking {}", r.blocking);
         assert!(r.utilization > 0.5, "utilization {}", r.utilization);
         assert!(r.data_loss < 0.2, "loss {}", r.data_loss);
@@ -708,7 +760,7 @@ mod retry_tests {
             base_backoff: SimDuration::from_secs(5),
             max_backoff: SimDuration::from_secs(60),
         });
-        let r = light.clone().run();
+        let r = light.clone().run().unwrap();
         assert_eq!(r.blocking, 0.0);
 
         // Heavy load: rejections happen and retries fire; the retried
@@ -720,13 +772,13 @@ mod retry_tests {
             .horizon_secs(400.0)
             .warmup_secs(100.0)
             .seed(2);
-        let base = heavy.clone().run();
+        let base = heavy.clone().run().unwrap();
         heavy.retry = Some(RetryPolicy {
             max_attempts: 3,
             base_backoff: SimDuration::from_secs(5),
             max_backoff: SimDuration::from_secs(60),
         });
-        let with_retry = heavy.run();
+        let with_retry = heavy.run().unwrap();
         let base_dec: u64 = base.groups.iter().map(|g| g.decided).sum();
         let retry_dec: u64 = with_retry.groups.iter().map(|g| g.decided).sum();
         assert!(

@@ -120,6 +120,7 @@ proptest! {
             timeouts: 0,
             leaked_flows: 0,
             measured_s: 1.0,
+            events: 5,
             seed: 0,
         };
         let avg = Report::average(&[r.clone(), r.clone()]);

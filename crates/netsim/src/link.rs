@@ -94,6 +94,9 @@ pub struct Link {
     pub prop_delay: SimDuration,
     qdisc: Box<dyn Qdisc>,
     marker: Option<VirtualQueue>,
+    /// Reused eviction scratch: cleared and refilled by every enqueue so
+    /// the per-packet hot path never allocates (a push-out free-list).
+    evict_buf: Vec<Packet>,
     in_flight: Option<Packet>,
     /// Earliest pending `TryDequeue` wake-up, to avoid duplicate events.
     wakeup_at: Option<SimTime>,
@@ -136,6 +139,7 @@ impl Link {
             prop_delay,
             qdisc,
             marker,
+            evict_buf: Vec::new(),
             in_flight: None,
             wakeup_at: None,
             up: true,
@@ -164,14 +168,15 @@ impl Link {
         if let Some(t) = tracer.as_mut() {
             t.record(now, TraceKind::Enqueue, Some(id), &pkt);
         }
-        let outcome = self.qdisc.enqueue(pkt, now);
-        if !outcome.accepted {
+        self.evict_buf.clear();
+        let accepted = self.qdisc.enqueue_into(pkt, now, &mut self.evict_buf);
+        if !accepted {
             self.stats.class_mut(class).dropped.inc();
             if let Some(t) = tracer.as_mut() {
                 t.record_raw(now, TraceKind::Drop, Some(id), flow, class, seq, size);
             }
         }
-        for victim in outcome.evicted {
+        for victim in self.evict_buf.drain(..) {
             self.stats.class_mut(victim.class).dropped.inc();
             if let Some(t) = tracer.as_mut() {
                 t.record(now, TraceKind::Evict, Some(id), &victim);

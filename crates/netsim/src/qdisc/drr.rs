@@ -6,7 +6,7 @@
 //! implement DRR so that the `stolen_bandwidth` example and the
 //! architectural tests can demonstrate exactly that failure mode.
 
-use super::{Dequeue, Enqueued, Limit, Qdisc};
+use super::{Dequeue, Limit, Qdisc};
 use crate::packet::{FlowId, Packet};
 use simcore::SimTime;
 use std::collections::{BTreeMap, VecDeque};
@@ -81,8 +81,7 @@ impl Drr {
 }
 
 impl Qdisc for Drr {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
-        let mut evicted = Vec::new();
+    fn enqueue_into(&mut self, pkt: Packet, _now: SimTime, evicted: &mut Vec<Packet>) -> bool {
         while self
             .limit
             .would_overflow(self.total_pkts, self.total_bytes, pkt.size)
@@ -93,7 +92,7 @@ impl Qdisc for Drr {
             // drop_from_longest handles by evicting from that flow's tail).
             match self.drop_from_longest() {
                 Some(v) => evicted.push(v),
-                None => return Enqueued::dropped(), // buffer can't fit it at all
+                None => return false, // buffer can't fit it at all
             }
         }
         let flow = pkt.flow;
@@ -108,10 +107,7 @@ impl Qdisc for Drr {
             q.fresh = true;
             self.active.push_back(flow);
         }
-        Enqueued {
-            accepted: true,
-            evicted,
-        }
+        true
     }
 
     fn dequeue(&mut self, _now: SimTime) -> Dequeue {

@@ -1,6 +1,6 @@
 //! Drop-tail FIFO — the paper's default router queue (§3.1).
 
-use super::{Dequeue, Enqueued, Limit, Qdisc};
+use super::{Dequeue, Limit, Qdisc};
 use crate::packet::Packet;
 use simcore::SimTime;
 use std::collections::VecDeque;
@@ -55,12 +55,12 @@ impl DropTail {
 }
 
 impl Qdisc for DropTail {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
+    fn enqueue_into(&mut self, pkt: Packet, _now: SimTime, _evicted: &mut Vec<Packet>) -> bool {
         if self.would_overflow(pkt.size) {
-            Enqueued::dropped()
+            false
         } else {
             self.force_enqueue(pkt);
-            Enqueued::ok()
+            true
         }
     }
 

@@ -95,8 +95,24 @@ pub enum Dequeue {
 /// Implementations must be `Send` so whole simulations can run on worker
 /// threads.
 pub trait Qdisc: Send {
+    /// Offer `pkt` to the buffer at time `now`, appending any evicted
+    /// resident packets (probe push-out, longest-queue drop) to `evicted`.
+    /// Returns whether the arriving packet was accepted.
+    ///
+    /// `evicted` is caller-owned scratch: the link layer reuses one buffer
+    /// across all enqueues so the per-packet hot path allocates nothing.
+    fn enqueue_into(&mut self, pkt: Packet, now: SimTime, evicted: &mut Vec<Packet>) -> bool;
+
     /// Offer `pkt` to the buffer at time `now`.
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Enqueued;
+    ///
+    /// Convenience wrapper over [`enqueue_into`](Qdisc::enqueue_into) that
+    /// allocates a fresh eviction list per call; fine for tests and cold
+    /// paths, avoid in per-packet loops.
+    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Enqueued {
+        let mut evicted = Vec::new();
+        let accepted = self.enqueue_into(pkt, now, &mut evicted);
+        Enqueued { accepted, evicted }
+    }
 
     /// Ask for the next packet to transmit at time `now`.
     fn dequeue(&mut self, now: SimTime) -> Dequeue;

@@ -12,7 +12,7 @@
 //!   the group is over its share, the link serves lower bands (best effort)
 //!   or idles, never lets the group borrow.
 
-use super::{Dequeue, DropTail, Enqueued, Limit, Qdisc, TokenBucket};
+use super::{Dequeue, DropTail, Limit, Qdisc, TokenBucket};
 use crate::packet::{Packet, TrafficClass};
 use simcore::SimTime;
 
@@ -211,21 +211,21 @@ pub fn class_band_map(
 }
 
 impl Qdisc for StrictPrio {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
+    fn enqueue_into(&mut self, pkt: Packet, _now: SimTime, evicted: &mut Vec<Packet>) -> bool {
         let band = self.class_map[pkt.class.index()];
 
         // Per-band limit first.
         if let Some(limit) = self.band_limits[band] {
             let q = &self.bands[band];
             if limit.would_overflow(q.len_packets(), q.len_bytes(), pkt.size) {
-                return Enqueued::dropped();
+                return false;
             }
         }
 
         // Shared-group limit with optional push-out. The group is taken out
         // of `self` for the duration to split the borrow without cloning
-        // its band list on every enqueue (this is the per-packet hot path).
-        let mut evicted = Vec::new();
+        // its band list on every enqueue (this is the per-packet hot path);
+        // victims go into the caller's reused scratch, not a fresh Vec.
         if let Some(group) = self.shared.take() {
             let mut accepted = true;
             if group.bands.contains(&band) {
@@ -266,18 +266,12 @@ impl Qdisc for StrictPrio {
             }
             self.shared = Some(group);
             if !accepted {
-                return Enqueued {
-                    accepted: false,
-                    evicted,
-                };
+                return false;
             }
         }
 
         self.bands[band].force_enqueue(pkt);
-        Enqueued {
-            accepted: true,
-            evicted,
-        }
+        true
     }
 
     fn dequeue(&mut self, now: SimTime) -> Dequeue {

@@ -5,7 +5,7 @@
 //! that the ablation benches can check the paper's claim that the choice
 //! does not affect the results. Supports drop or ECN-mark mode.
 
-use super::{Dequeue, Enqueued, Limit, Qdisc};
+use super::{Dequeue, Limit, Qdisc};
 use crate::packet::Packet;
 use simcore::{SimRng, SimTime};
 use std::collections::VecDeque;
@@ -127,7 +127,7 @@ impl Red {
 }
 
 impl Qdisc for Red {
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> Enqueued {
+    fn enqueue_into(&mut self, mut pkt: Packet, now: SimTime, _evicted: &mut Vec<Packet>) -> bool {
         self.update_avg(now);
 
         // Physical overflow always drops.
@@ -136,18 +136,18 @@ impl Qdisc for Red {
             .would_overflow(self.queue.len(), self.bytes, pkt.size)
         {
             self.count = 0;
-            return Enqueued::dropped();
+            return false;
         }
 
         if self.early_action() {
             match self.mode {
-                RedMode::Drop => return Enqueued::dropped(),
+                RedMode::Drop => return false,
                 RedMode::Mark => pkt.marked = true,
             }
         }
         self.bytes += pkt.size as u64;
         self.queue.push_back(pkt);
-        Enqueued::ok()
+        true
     }
 
     fn dequeue(&mut self, now: SimTime) -> Dequeue {

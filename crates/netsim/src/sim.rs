@@ -53,6 +53,17 @@ pub enum RunError {
         /// Time of the offending event.
         to: SimTime,
     },
+    /// An agent or link scheduled an event behind the clock. Only
+    /// reported when lenient scheduling is armed
+    /// ([`Sim::set_lenient_scheduling`], implied by
+    /// [`Sim::set_event_budget`]); otherwise the calendar panics at the
+    /// offending call site.
+    ScheduledIntoPast {
+        /// The requested (past) timestamp.
+        at: SimTime,
+        /// The clock when the schedule was requested.
+        now: SimTime,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -63,6 +74,9 @@ impl std::fmt::Display for RunError {
             }
             RunError::TimeRegression { from, to } => {
                 write!(f, "event time went backwards: {from} -> {to}")
+            }
+            RunError::ScheduledIntoPast { at, now } => {
+                write!(f, "event scheduled into the past: {at} < now {now}")
             }
         }
     }
@@ -182,6 +196,18 @@ impl Sim {
     /// an event storm (e.g. a zero-delay retry loop) hits the cap.
     pub fn set_event_budget(&mut self, budget: u64) {
         self.event_budget = Some(budget);
+        // A budgeted run is a watchdog-carrying run: scheduling bugs
+        // should surface as counted errors, not process aborts.
+        self.set_lenient_scheduling(true);
+    }
+
+    /// In lenient mode a schedule-into-the-past is reported from
+    /// [`try_run_until`](Sim::try_run_until) as
+    /// [`RunError::ScheduledIntoPast`] instead of panicking inside the
+    /// offending agent callback — so in a pooled sweep one bad schedule is
+    /// a counted seed failure, not a pool-wide abort.
+    pub fn set_lenient_scheduling(&mut self, lenient: bool) {
+        self.queue.set_lenient(lenient);
     }
 
     /// Check packet conservation right now (see [`crate::audit`]).
@@ -281,6 +307,7 @@ impl Sim {
     pub fn try_run_until(&mut self, until: SimTime) -> Result<(), RunError> {
         if !self.started {
             self.dispatch_start();
+            self.check_schedule_violation()?;
         }
         while let Some(t) = self.queue.peek_time() {
             if t > until {
@@ -303,8 +330,21 @@ impl Sim {
             self.last_event_time = t;
             let (_, ev) = self.queue.pop().expect("peeked");
             self.handle(ev);
+            self.check_schedule_violation()?;
         }
         Ok(())
+    }
+
+    /// Surface a lenient-mode scheduling violation as a [`RunError`].
+    #[inline]
+    fn check_schedule_violation(&mut self) -> Result<(), RunError> {
+        match self.queue.take_violation() {
+            Some(v) => Err(RunError::ScheduledIntoPast {
+                at: v.at,
+                now: v.now,
+            }),
+            None => Ok(()),
+        }
     }
 
     /// Run until the calendar is empty or the next event is after `until`.
@@ -465,6 +505,50 @@ mod tests {
         // No agent at b.
         sim.run_to_completion();
         assert_eq!(sim.net.orphan_packets, 5);
+    }
+
+    /// Arms a timer behind the clock after `trigger` fires.
+    struct PastScheduler;
+    impl Agent for PastScheduler {
+        fn on_start(&mut self, api: &mut Api) {
+            api.timer_in(SimDuration::from_millis(2), 0, 0);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _api: &mut Api) {}
+        fn on_timer(&mut self, _k: u32, _d: u64, api: &mut Api) {
+            // 1 ms, behind the 2 ms clock.
+            api.timer_at(SimTime::from_nanos(1_000_000), 0, 0);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn lenient_past_schedule_is_run_error() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_link(a, b, 10_000_000, SimDuration::ZERO, dt(), None);
+        let mut sim = Sim::new(net);
+        sim.attach(a, Box::new(PastScheduler));
+        sim.set_event_budget(1_000); // arms lenient scheduling too
+        let err = sim.try_run_until(SimTime::from_secs(1)).unwrap_err();
+        assert!(
+            matches!(err, RunError::ScheduledIntoPast { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn strict_past_schedule_still_panics() {
+        let mut net = Network::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_link(a, b, 10_000_000, SimDuration::ZERO, dt(), None);
+        let mut sim = Sim::new(net);
+        sim.attach(a, Box::new(PastScheduler));
+        sim.run_to_completion();
     }
 
     #[test]

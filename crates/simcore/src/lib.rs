@@ -4,8 +4,10 @@
 //!
 //! - [`SimTime`] / [`SimDuration`]: integer-nanosecond time, so event
 //!   ordering never depends on floating-point rounding;
-//! - [`EventQueue`]: a binary-heap event calendar with a monotone sequence
-//!   number for stable FIFO ordering of simultaneous events;
+//! - [`EventQueue`]: a calendar-queue event calendar (bucketed timer wheel
+//!   with an overflow heap) with a monotone sequence number for stable FIFO
+//!   ordering of simultaneous events; [`queue::HeapEventQueue`] is the
+//!   binary-heap reference implementation it is property-tested against;
 //! - [`rng::SimRng`]: a seeded RNG with cheap derived streams and the
 //!   distribution samplers the paper's workloads need (exponential, Pareto);
 //! - [`stats`]: statistics accumulators (Welford mean/variance,
@@ -20,6 +22,6 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapEventQueue, ScheduleViolation};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

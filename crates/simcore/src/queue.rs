@@ -1,13 +1,51 @@
 //! The event calendar.
 //!
-//! A binary heap keyed on `(time, sequence)`. The monotone sequence number
-//! guarantees that events scheduled for the same instant fire in the order
-//! they were scheduled (FIFO), which keeps simulations deterministic and
-//! makes "schedule B right after A" reasoning valid.
+//! Two implementations share one contract: events keyed on `(time, seq)`
+//! pop in exact nondecreasing `(time, seq)` order. The monotone sequence
+//! number guarantees that events scheduled for the same instant fire in
+//! the order they were scheduled (FIFO), which keeps simulations
+//! deterministic and makes "schedule B right after A" reasoning valid.
+//!
+//! - [`EventQueue`] — the production calendar: a non-sliding calendar
+//!   queue (bucketed timer wheel) with a far-future overflow heap. The
+//!   near window covers [`NUM_BUCKETS`] buckets of `2^`[`WIDTH_BITS`] ns
+//!   each (~67 ms), which is wide enough that the packet-level hot path
+//!   (transmission completions, 20 ms propagation deliveries, dequeue
+//!   wake-ups) lands in O(1) buckets; only long-lived protocol timers
+//!   (flow arrivals, lifetimes, probe deadlines) pay the overflow heap.
+//!   Bucket storage and the active-bucket heap retain their capacity
+//!   across a run, so steady-state scheduling allocates nothing.
+//! - [`HeapEventQueue`] — the original binary-heap calendar, kept as the
+//!   reference implementation for differential property tests and the
+//!   engine benchmarks.
+//!
+//! Because `(time, seq)` is a total order, both implementations produce
+//! bit-identical pop sequences; `tests/props.rs` checks them against each
+//! other on random schedules (including same-instant ties).
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// log2 of the calendar bucket width in nanoseconds (2^15 ns ≈ 32.8 µs).
+pub const WIDTH_BITS: u32 = 15;
+/// Number of buckets in the near window (must be a multiple of 64).
+pub const NUM_BUCKETS: usize = 2048;
+const OCC_WORDS: usize = NUM_BUCKETS / 64;
+
+/// A scheduling-into-the-past violation recorded in lenient mode.
+///
+/// Scheduling behind the clock would silently reorder causality, so it is
+/// always a bug; lenient mode (armed by watchdog-carrying runs) records
+/// the first offense for the driver to surface as a graceful error
+/// instead of panicking the whole process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduleViolation {
+    /// The requested (past) timestamp.
+    pub at: SimTime,
+    /// The clock when the request was made.
+    pub now: SimTime,
+}
 
 struct Entry<E> {
     at: SimTime,
@@ -39,13 +77,36 @@ impl<E> Ord for Entry<E> {
 /// A discrete-event calendar holding events of type `E`.
 ///
 /// Tracks the current simulation clock: the clock advances to an event's
-/// timestamp when that event is popped. Scheduling in the past is a bug and
-/// panics (it would silently reorder causality otherwise).
+/// timestamp when that event is popped. Scheduling in the past is a bug
+/// and panics (it would silently reorder causality otherwise) unless
+/// lenient mode is armed ([`EventQueue::set_lenient`]), in which case the
+/// offending event is dropped and the violation is recorded for the run
+/// driver to turn into a graceful error.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Near-window buckets; bucket `i` holds entries with
+    /// `at >> WIDTH_BITS == base + i`, unsorted. Vecs keep their capacity
+    /// when drained (a free-list in place), so steady state allocates
+    /// nothing.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occ: [u64; OCC_WORDS],
+    /// Entries in the near window, excluding `current`.
+    near_count: usize,
+    /// Absolute bucket index (time >> WIDTH_BITS) of `buckets[0]`.
+    base: u64,
+    /// Bucket offsets `< cursor` have been activated (drained into
+    /// `current`); insertions targeting them go straight to `current`.
+    cursor: usize,
+    /// The active min-heap: every pending entry at or before the activated
+    /// boundary. Always pops before any bucket or overflow entry.
+    current: BinaryHeap<Entry<E>>,
+    /// Entries beyond the near window, migrated in when the window rebases.
+    far: BinaryHeap<Entry<E>>,
     now: SimTime,
     seq: u64,
     popped: u64,
+    lenient: bool,
+    violation: Option<ScheduleViolation>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -58,6 +119,210 @@ impl<E> EventQueue<E> {
     /// An empty calendar with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            occ: [0; OCC_WORDS],
+            near_count: 0,
+            base: 0,
+            cursor: 0,
+            current: BinaryHeap::new(),
+            far: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            popped: 0,
+            lenient: false,
+            violation: None,
+        }
+    }
+
+    /// The current simulation clock.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.current.len() + self.near_count + self.far.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events fired so far (for throughput reporting).
+    #[inline]
+    pub fn events_fired(&self) -> u64 {
+        self.popped
+    }
+
+    /// In lenient mode a past-timestamp schedule records a
+    /// [`ScheduleViolation`] (and drops the event) instead of panicking;
+    /// run drivers with a watchdog armed poll
+    /// [`take_violation`](EventQueue::take_violation) and abort the run
+    /// gracefully.
+    pub fn set_lenient(&mut self, lenient: bool) {
+        self.lenient = lenient;
+    }
+
+    /// Take the recorded scheduling violation, if any.
+    pub fn take_violation(&mut self) -> Option<ScheduleViolation> {
+        self.violation.take()
+    }
+
+    /// Schedule `event` at absolute time `at`. Panics if `at` is in the
+    /// past (or records a violation in lenient mode; see
+    /// [`set_lenient`](EventQueue::set_lenient)).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        if at < self.now {
+            if self.lenient {
+                if self.violation.is_none() {
+                    self.violation = Some(ScheduleViolation { at, now: self.now });
+                }
+                return;
+            }
+            panic!("scheduling into the past: {at:?} < now {:?}", self.now);
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.push_entry(Entry { at, seq, event });
+    }
+
+    /// Schedule `event` to fire `delay` after the current clock.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    ///
+    /// Takes `&mut self`: peeking may activate the next calendar bucket
+    /// (the work is shared with the following [`pop`](EventQueue::pop)).
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.ensure_current();
+        self.current.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.ensure_current();
+        let entry = self.current.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue time went backwards");
+        self.now = entry.at;
+        self.popped += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Drop every pending event (the clock is left where it is).
+    pub fn clear(&mut self) {
+        for w in 0..OCC_WORDS {
+            let mut bits = self.occ[w];
+            while bits != 0 {
+                let b = w * 64 + bits.trailing_zeros() as usize;
+                self.buckets[b].clear();
+                bits &= bits - 1;
+            }
+            self.occ[w] = 0;
+        }
+        self.near_count = 0;
+        self.current.clear();
+        self.far.clear();
+    }
+
+    #[inline]
+    fn push_entry(&mut self, entry: Entry<E>) {
+        let abs = entry.at.as_nanos() >> WIDTH_BITS;
+        if abs < self.base + self.cursor as u64 {
+            // At or behind the activated boundary: the heap keeps exact
+            // (time, seq) order, so late arrivals into the active region
+            // still pop in their correct place.
+            self.current.push(entry);
+        } else if abs - self.base < NUM_BUCKETS as u64 {
+            let off = (abs - self.base) as usize;
+            if self.buckets[off].is_empty() {
+                self.occ[off / 64] |= 1u64 << (off % 64);
+            }
+            self.buckets[off].push(entry);
+            self.near_count += 1;
+        } else {
+            self.far.push(entry);
+        }
+    }
+
+    /// Make `current` hold the globally earliest pending entries (or be
+    /// empty if the whole calendar is). Activates buckets left to right;
+    /// when the near window drains, rebases it onto the earliest overflow
+    /// entry and migrates overflow entries that now fit.
+    fn ensure_current(&mut self) {
+        while self.current.is_empty() {
+            if self.near_count > 0 {
+                let off = self.next_occupied(self.cursor).expect("near_count > 0");
+                self.occ[off / 64] &= !(1u64 << (off % 64));
+                self.near_count -= self.buckets[off].len();
+                self.current.extend(self.buckets[off].drain(..));
+                self.cursor = off + 1;
+            } else if let Some(e) = self.far.peek() {
+                self.base = e.at.as_nanos() >> WIDTH_BITS;
+                self.cursor = 0;
+                let end_abs = self.base + NUM_BUCKETS as u64;
+                while let Some(e) = self.far.peek() {
+                    if e.at.as_nanos() >> WIDTH_BITS >= end_abs {
+                        break;
+                    }
+                    let entry = self.far.pop().expect("peeked");
+                    self.push_entry(entry);
+                }
+            } else {
+                return; // truly empty
+            }
+        }
+    }
+
+    /// First occupied bucket at or after `from`, via the occupancy bitmap.
+    #[inline]
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        if from >= NUM_BUCKETS {
+            return None;
+        }
+        let mut w = from / 64;
+        let mut bits = self.occ[w] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= OCC_WORDS {
+                return None;
+            }
+            bits = self.occ[w];
+        }
+    }
+}
+
+/// The original binary-heap event calendar, kept as the reference
+/// implementation the calendar queue is differential-tested against (and
+/// benchmarked against in `benches/engine.rs`). Same `(time, seq)`
+/// contract and API as [`EventQueue`].
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for HeapEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapEventQueue<E> {
+    /// An empty calendar with the clock at zero.
+    pub fn new() -> Self {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
@@ -83,7 +348,7 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Total number of events fired so far (for throughput reporting).
+    /// Total number of events fired so far.
     #[inline]
     pub fn events_fired(&self) -> u64 {
         self.popped
@@ -184,6 +449,20 @@ mod tests {
     }
 
     #[test]
+    fn lenient_mode_records_violation_and_drops_event() {
+        let mut q = EventQueue::new();
+        q.set_lenient(true);
+        q.schedule_at(SimTime::from_secs(2), 1u32);
+        q.pop();
+        q.schedule_at(SimTime::from_secs(1), 2u32);
+        let v = q.take_violation().expect("violation recorded");
+        assert_eq!(v.at, SimTime::from_secs(1));
+        assert_eq!(v.now, SimTime::from_secs(2));
+        assert!(q.take_violation().is_none(), "violation is taken once");
+        assert!(q.is_empty(), "offending event was dropped");
+    }
+
+    #[test]
     fn counters() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
@@ -207,5 +486,70 @@ mod tests {
         q.schedule_at(SimTime::from_secs(5), 5);
         let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(got, vec![5, 6, 10]);
+    }
+
+    #[test]
+    fn insert_into_activated_region_pops_in_order() {
+        // Activate a bucket by peeking, then schedule an event earlier
+        // than the activated bucket (but >= now): it must pop first.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(5 << WIDTH_BITS), "late");
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(5 << WIDTH_BITS)));
+        q.schedule_at(SimTime::from_nanos(2 << WIDTH_BITS), "early");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["early", "late"]);
+    }
+
+    #[test]
+    fn far_future_rebase_keeps_order() {
+        // Events far beyond the near window (hundreds of seconds) force
+        // overflow-heap migration and window rebasing.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(300), "d");
+        q.schedule_at(SimTime::from_nanos(10), "a");
+        q.schedule_at(SimTime::from_secs(900), "e");
+        q.schedule_at(SimTime::from_secs(1), "b");
+        q.schedule_at(SimTime::from_secs(2), "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c", "d", "e"]);
+        assert_eq!(q.now(), SimTime::from_secs(900));
+    }
+
+    #[test]
+    fn matches_heap_reference_on_mixed_horizons() {
+        // Deterministic LCG schedule mixing microsecond and multi-second
+        // delays, interleaved with pops — both calendars must agree
+        // exactly (the property tests randomize this further).
+        let mut cal = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        let mut step = |cal: &mut EventQueue<u64>, heap: &mut HeapEventQueue<u64>, i: u64| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let delay = match x % 4 {
+                0 => x % 1_000,          // sub-µs
+                1 => x % 1_000_000,      // sub-ms
+                2 => x % 100_000_000,    // sub-100ms (window edge)
+                _ => x % 10_000_000_000, // up to 10 s (overflow)
+            };
+            cal.schedule_in(SimDuration::from_nanos(delay), i);
+            heap.schedule_in(SimDuration::from_nanos(delay), i);
+        };
+        for i in 0..500 {
+            step(&mut cal, &mut heap, i);
+            if i % 3 == 0 {
+                assert_eq!(cal.pop(), heap.pop());
+            }
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(cal.now(), heap.now());
+        assert_eq!(cal.events_fired(), heap.events_fired());
     }
 }

@@ -17,7 +17,8 @@ fn main() {
         .horizon_secs(1_200.0)
         .warmup_secs(300.0)
         .seed(7)
-        .run();
+        .run()
+        .expect("no watchdogs armed");
 
     println!(
         "backbone utilizations: {:?}\n",

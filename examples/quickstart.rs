@@ -26,7 +26,7 @@ fn main() {
         .seed(42);
 
     println!("running endpoint admission control (drop, in-band, eps=0.01)...");
-    let r = endpoint.run();
+    let r = endpoint.run().expect("no watchdogs armed");
     println!(
         "  utilization {:.3}, data loss {:.5}, blocking {:.3}, probe overhead {:.3}",
         r.utilization, r.data_loss, r.blocking, r.probe_overhead
@@ -40,7 +40,7 @@ fn main() {
         .seed(42);
 
     println!("running the Measured Sum MBAC benchmark (eta=0.9)...");
-    let m = mbac.run();
+    let m = mbac.run().expect("no watchdogs armed");
     println!(
         "  utilization {:.3}, data loss {:.5}, blocking {:.3}",
         m.utilization, m.data_loss, m.blocking

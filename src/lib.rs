@@ -35,7 +35,8 @@
 //!     .horizon_secs(60.0)
 //!     .warmup_secs(20.0)
 //!     .seed(1)
-//!     .run();
+//!     .run()
+//!     .expect("no watchdogs armed");
 //! assert!(report.utilization >= 0.0 && report.utilization <= 1.5);
 //! ```
 

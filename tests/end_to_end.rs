@@ -15,6 +15,7 @@ fn quick(design: Design, tau: f64, seed: u64) -> endpoint_admission::eac::Report
         .warmup_secs(150.0)
         .seed(seed)
         .run()
+        .expect("scenario run")
 }
 
 #[test]
@@ -119,7 +120,8 @@ fn multi_group_scenarios_attribute_stats_per_group() {
         .horizon_secs(600.0)
         .warmup_secs(150.0)
         .seed(7)
-        .run();
+        .run()
+        .expect("scenario run");
     assert_eq!(r.groups.len(), 2);
     let (g1, g2) = (&r.groups[0], &r.groups[1]);
     assert!(g1.decided > 0 && g2.decided > 0);
@@ -154,14 +156,16 @@ fn longer_probes_reduce_loss_but_cost_utilization() {
         .horizon_secs(900.0)
         .warmup_secs(200.0)
         .seed(9)
-        .run();
+        .run()
+        .expect("scenario run");
     let long = Scenario::basic()
         .design(d)
         .probe_secs(25.0)
         .horizon_secs(900.0)
         .warmup_secs(200.0)
         .seed(9)
-        .run();
+        .run()
+        .expect("scenario run");
     // Fig 3's shape: longer probing spends more of the share on probes.
     assert!(
         long.probe_overhead > short.probe_overhead,

@@ -16,6 +16,7 @@ fn basic(design: Design, seed: u64) -> endpoint_admission::eac::Report {
         .warmup_secs(250.0)
         .seed(seed)
         .run()
+        .expect("scenario run")
 }
 
 /// §4.1/Fig 2 — the range result: at ε = 0, out-of-band marking achieves
@@ -78,6 +79,7 @@ fn fig4_slow_start_beats_simple_probing_under_high_load() {
             .warmup_secs(250.0)
             .seed(23)
             .run()
+            .expect("scenario run")
     };
     let simple = mk(ProbeStyle::Simple);
     let slow = mk(ProbeStyle::SlowStart);
@@ -106,7 +108,8 @@ fn table3_lower_epsilon_blocks_more_without_helping() {
         .horizon_secs(1_500.0)
         .warmup_secs(300.0)
         .seed(24)
-        .run();
+        .run()
+        .expect("scenario run");
     let (low, high) = (&r.groups[0], &r.groups[1]);
     assert!(low.decided > 30 && high.decided > 30);
     assert!(
@@ -158,7 +161,8 @@ fn table4_large_flows_blocked_more_than_small() {
         .horizon_secs(1_500.0)
         .warmup_secs(300.0)
         .seed(25)
-        .run();
+        .run()
+        .expect("scenario run");
     // EXP2 probes at 1024k, 4x the others: it faces higher blocking.
     let large = &r.groups[1];
     let small_avg = (r.groups[0].blocking + r.groups[2].blocking + r.groups[3].blocking) / 3.0;

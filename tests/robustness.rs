@@ -42,8 +42,8 @@ proptest! {
     ) {
         let losses = [0.0, 0.05, 0.15];
         let s = faulty(seed, losses[loss_i], flap_at);
-        let a = s.try_run().expect("first run");
-        let b = s.try_run().expect("second run");
+        let a = s.run().expect("first run");
+        let b = s.run().expect("second run");
         prop_assert_eq!(
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap()
@@ -53,8 +53,8 @@ proptest! {
     /// Different seeds under the same FaultPlan still diverge.
     #[test]
     fn different_seeds_diverge_under_the_same_fault_plan(seed in 1u64..1_000) {
-        let a = faulty(seed, 0.1, 100.0).try_run().expect("seed a");
-        let b = faulty(seed + 1, 0.1, 100.0).try_run().expect("seed b");
+        let a = faulty(seed, 0.1, 100.0).run().expect("seed a");
+        let b = faulty(seed + 1, 0.1, 100.0).run().expect("seed b");
         prop_assert_ne!(
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap()
@@ -71,13 +71,11 @@ fn fig2_scenario_conserves_packets() {
         .warmup_secs(75.0)
         .seed(5)
         .audited()
-        .try_run()
+        .run()
         .expect("fault-free conservation");
     // And with the full fault kit: wire losses, duplicates and down-drops
     // must balance the books too.
-    let r = faulty(5, 0.1, 100.0)
-        .try_run()
-        .expect("faulty conservation");
+    let r = faulty(5, 0.1, 100.0).run().expect("faulty conservation");
     assert!(r.measured_s > 0.0);
 }
 
@@ -87,7 +85,8 @@ fn multihop_tables56_conserves_packets() {
         .horizon_secs(400.0)
         .warmup_secs(100.0)
         .seed(2)
-        .run_audited()
+        .audited()
+        .run()
         .expect("multi-hop conservation");
     assert_eq!(r.groups.len(), 4);
 }

@@ -117,6 +117,30 @@ fn bench_figures(c: &mut Criterion) {
         })
     });
 
+    // Telemetry guard: the disabled path (plain run) vs the fully
+    // instrumented one. The first pair of benches must stay within noise
+    // of each other's baseline run above; the enabled run quantifies the
+    // instrumentation cost.
+    g.bench_function("telemetry disabled", |b| {
+        let s = short(Design::endpoint(
+            Signal::Drop,
+            Placement::InBand,
+            ProbeStyle::SlowStart,
+            0.01,
+        ));
+        b.iter(|| black_box(s.run().unwrap()))
+    });
+    g.bench_function("telemetry enabled", |b| {
+        let s = short(Design::endpoint(
+            Signal::Drop,
+            Placement::InBand,
+            ProbeStyle::SlowStart,
+            0.01,
+        ))
+        .telemetry(telemetry::TelemetryConfig::new());
+        b.iter(|| black_box(s.run_full().unwrap().report))
+    });
+
     // The pooled executor on a 4-seed grid, serial vs all workers.
     let sweep_base = || {
         Sweep::new(short(Design::endpoint(

@@ -1,7 +1,7 @@
 //! CLI regenerating every table and figure of the paper.
 //!
 //! ```text
-//! experiments <target> [--smoke|--quick|--paper] [--jobs N]
+//! experiments <target> [--smoke|--quick|--paper] [--jobs N] [--telemetry DIR]
 //!
 //! targets: fig1 fig2 fig3 fig4 fig5 fig6 fig7
 //!          fig8a fig8b fig8c fig8d fig8e fig8f fig9 fig11
@@ -14,6 +14,10 @@
 //! --jobs N sets the worker count for every sweep (default: available
 //! parallelism; --jobs 1 forces the serial path). Results are
 //! byte-identical at any worker count.
+//!
+//! --telemetry DIR captures per-seed time-series (CSV), metrics (JSON)
+//! and flight-recorder dumps for failed seeds under numbered sweep
+//! subdirectories of DIR. Output is byte-identical at any --jobs value.
 //! ```
 
 use eac_bench::experiments as ex;
@@ -42,11 +46,36 @@ fn parse_jobs(args: &[String]) -> Option<usize> {
     None
 }
 
+/// Parse `--telemetry DIR` / `--telemetry=DIR`; exits on a missing value.
+fn parse_telemetry(args: &[String]) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let val = if a == "--telemetry" {
+            it.next().cloned()
+        } else if let Some(v) = a.strip_prefix("--telemetry=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        match val {
+            Some(dir) if !dir.is_empty() && !dir.starts_with("--") => return Some(dir),
+            _ => {
+                eprintln!("--telemetry takes an output directory (got {val:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    None
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fid = Fidelity::from_args(&args);
     if let Some(n) = parse_jobs(&args) {
         pool::set_default_jobs(n);
+    }
+    if let Some(dir) = parse_telemetry(&args) {
+        eac_bench::telemetry_session::set_session_dir(dir);
     }
     let mut skip_value = false;
     let target = args
@@ -56,7 +85,7 @@ fn main() {
                 skip_value = false;
                 return false;
             }
-            if *a == "--jobs" {
+            if *a == "--jobs" || *a == "--telemetry" {
                 skip_value = true;
                 return false;
             }
@@ -64,7 +93,9 @@ fn main() {
         })
         .cloned()
         .unwrap_or_else(|| {
-            eprintln!("usage: experiments <target> [--smoke|--quick|--paper] [--jobs N]");
+            eprintln!(
+                "usage: experiments <target> [--smoke|--quick|--paper] [--jobs N] [--telemetry DIR]"
+            );
             eprintln!("targets: fig1 fig2 fig3 fig4..fig7 fig8a..fig8f fig9 fig11");
             eprintln!("         table3 table4 tables56 ablate-* robust-* bench-sweep all");
             std::process::exit(2);

@@ -13,9 +13,10 @@ pub mod output;
 pub mod pool;
 pub mod runner;
 pub mod sweep;
+pub mod telemetry_session;
 
 pub use catalog::{Workload, EPS_IN_BAND, EPS_OUT_OF_BAND, ETAS_MBAC};
 pub use output::{print_table, save_json};
 pub use pool::{available_jobs, default_jobs, set_default_jobs};
 pub use runner::{loss_load_curve, run_seeds, run_seeds_isolated, Fidelity, SeedOutcome};
-pub use sweep::{Sweep, SweepResult};
+pub use sweep::{Sweep, SweepResult, SweepTelemetry};

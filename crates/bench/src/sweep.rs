@@ -17,6 +17,9 @@ use crate::runner::SeedOutcome;
 use eac::design::Design;
 use eac::metrics::Report;
 use eac::scenario::Scenario;
+use simcore::SimTime;
+use std::path::PathBuf;
+use telemetry::{FlightRecorder, Metrics, Telemetry, TelemetryConfig, TimeSeries};
 
 /// Turn a caught panic payload into a displayable message.
 pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -26,6 +29,34 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         (*s).to_string()
     } else {
         "panic with non-string payload".to_string()
+    }
+}
+
+/// Where and how a sweep captures telemetry. Every seed of the grid gets
+/// its own instrument hub; after the (deterministic, grid-ordered) fold
+/// the sweep writes, per seed, `d{design}_s{seed}.series.csv` and
+/// `.metrics.json`, plus per design a seed-merged `d{design}.metrics.json`
+/// and a seed-averaged `d{design}.series.csv`. Failed seeds dump their
+/// flight ring as `d{design}_s{seed}.flight.jsonl` instead.
+#[derive(Clone, Debug)]
+pub struct SweepTelemetry {
+    /// Output directory (created on demand; the caller owns its naming).
+    pub dir: PathBuf,
+    /// Sampler period, simulated seconds.
+    pub sample_period_s: f64,
+    /// Flight-recorder ring capacity per seed.
+    pub recorder_capacity: usize,
+}
+
+impl SweepTelemetry {
+    /// Telemetry into `dir` with the default 1 s sampling period and
+    /// 4096-event flight ring.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SweepTelemetry {
+            dir: dir.into(),
+            sample_period_s: 1.0,
+            recorder_capacity: 4096,
+        }
     }
 }
 
@@ -78,6 +109,7 @@ pub struct Sweep {
     seeds: Vec<u64>,
     jobs: usize,
     isolated: bool,
+    telemetry: Option<SweepTelemetry>,
 }
 
 impl Sweep {
@@ -91,6 +123,7 @@ impl Sweep {
             seeds,
             jobs: 0,
             isolated: false,
+            telemetry: None,
         }
     }
 
@@ -126,6 +159,22 @@ impl Sweep {
         self
     }
 
+    /// Capture telemetry for every seed into `dir` (see
+    /// [`SweepTelemetry`] for the file layout). Without this, a sweep
+    /// still picks up the session-wide `--telemetry` directory when the
+    /// CLI registered one.
+    pub fn telemetry(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.telemetry = Some(SweepTelemetry::new(dir));
+        self
+    }
+
+    /// Like [`telemetry`](Sweep::telemetry) with full control of the
+    /// sampling period and ring capacity.
+    pub fn telemetry_config(mut self, cfg: SweepTelemetry) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
     /// Run the design × seed grid on the pool and fold the results.
     pub fn run(&self) -> SweepResult {
         let n_seeds = self.seeds.len();
@@ -135,26 +184,60 @@ impl Sweep {
         } else {
             self.jobs
         };
+        let tcfg = self
+            .telemetry
+            .clone()
+            .or_else(crate::telemetry_session::next_sweep_config);
+        // Shared ring handles, retained outside `catch_unwind`, so a dead
+        // job's final seconds of events stay reachable for the dump.
+        let recorders: Vec<FlightRecorder> = match &tcfg {
+            Some(t) => (0..n_jobs)
+                .map(|_| FlightRecorder::new(t.recorder_capacity))
+                .collect(),
+            None => Vec::new(),
+        };
 
         let raw = run_indexed(n_jobs, workers, |i| {
             let design = self.designs[i / n_seeds];
             let seed = self.seeds[i % n_seeds];
-            self.base.clone().design(design).seed(seed).run()
+            let mut sc = self.base.clone().design(design).seed(seed);
+            if let Some(t) = &tcfg {
+                sc = sc.telemetry(
+                    TelemetryConfig::new()
+                        .sample_period(t.sample_period_s)
+                        .with_recorder(recorders[i].clone()),
+                );
+            }
+            sc.run_full()
         });
+
+        let dump_flight = |di: usize, seed: u64, i: usize| {
+            if let Some(t) = &tcfg {
+                let path = t.dir.join(format!("d{di}_s{seed}.flight.jsonl"));
+                if let Err(io) = recorders[i].dump_jsonl(&path) {
+                    eprintln!("flight-recorder dump to {} failed: {io}", path.display());
+                }
+            }
+        };
 
         let mut reports = Vec::with_capacity(self.designs.len());
         let mut outcomes = Vec::with_capacity(self.designs.len());
+        let mut hubs: Vec<Option<Box<Telemetry>>> = Vec::with_capacity(n_jobs);
         let mut raw = raw.into_iter();
-        for _ in 0..self.designs.len() {
+        for di in 0..self.designs.len() {
             let mut survivors = Vec::with_capacity(n_seeds);
             let mut per_seed = Vec::with_capacity(n_seeds);
-            for &seed in &self.seeds {
+            for (si, &seed) in self.seeds.iter().enumerate() {
+                let i = di * n_seeds + si;
                 match raw.next().expect("one result per job") {
-                    Ok(Ok(report)) => {
-                        survivors.push(report);
+                    Ok(Ok(out)) => {
+                        survivors.push(out.report);
+                        hubs.push(out.telemetry);
                         per_seed.push(SeedOutcome::Ok { seed });
                     }
                     Ok(Err(e)) => {
+                        hubs.push(None);
+                        dump_flight(di, seed, i);
                         if !self.isolated {
                             panic!("{e}");
                         }
@@ -164,13 +247,16 @@ impl Sweep {
                         });
                     }
                     Err(payload) => {
-                        if !self.isolated {
-                            std::panic::resume_unwind(payload);
+                        hubs.push(None);
+                        let message = panic_message(payload);
+                        if tcfg.is_some() {
+                            recorders[i].record(SimTime::ZERO, "sweep.panic", message.clone());
                         }
-                        per_seed.push(SeedOutcome::Panic {
-                            seed,
-                            message: panic_message(payload),
-                        });
+                        dump_flight(di, seed, i);
+                        if !self.isolated {
+                            panic!("seed {seed} panicked: {message}");
+                        }
+                        per_seed.push(SeedOutcome::Panic { seed, message });
                     }
                 }
             }
@@ -195,7 +281,61 @@ impl Sweep {
             outcomes.push(per_seed);
         }
 
+        if let Some(t) = &tcfg {
+            self.export_telemetry(t, &hubs);
+        }
+
         SweepResult { reports, outcomes }
+    }
+
+    /// Write the collected hubs out, strictly in grid order — all file
+    /// content comes from the (already deterministic) fold results, so
+    /// the output tree is byte-identical at any worker count.
+    fn export_telemetry(&self, t: &SweepTelemetry, hubs: &[Option<Box<Telemetry>>]) {
+        if let Err(io) = std::fs::create_dir_all(&t.dir) {
+            eprintln!("telemetry dir {} failed: {io}", t.dir.display());
+            return;
+        }
+        let write = |path: PathBuf, content: String| {
+            if let Err(io) = std::fs::write(&path, content) {
+                eprintln!("telemetry write to {} failed: {io}", path.display());
+            }
+        };
+        let n_seeds = self.seeds.len();
+        for di in 0..self.designs.len() {
+            let mut merged = Metrics::new();
+            let mut series: Vec<&TimeSeries> = Vec::new();
+            for (si, &seed) in self.seeds.iter().enumerate() {
+                let Some(hub) = &hubs[di * n_seeds + si] else {
+                    continue; // failed seed: its flight ring was dumped instead
+                };
+                let label = format!("d{di}_s{seed}");
+                write(
+                    t.dir.join(format!("{label}.series.csv")),
+                    hub.sampler.series.to_csv(),
+                );
+                write(
+                    t.dir.join(format!("{label}.metrics.json")),
+                    serde_json::to_string(&hub.metrics).expect("metrics serialize"),
+                );
+                merged.merge(&hub.metrics);
+                if !hub.sampler.series.is_empty() {
+                    series.push(&hub.sampler.series);
+                }
+            }
+            if !merged.is_empty() {
+                write(
+                    t.dir.join(format!("d{di}.metrics.json")),
+                    serde_json::to_string(&merged).expect("metrics serialize"),
+                );
+            }
+            if !series.is_empty() {
+                write(
+                    t.dir.join(format!("d{di}.series.csv")),
+                    TimeSeries::mean_across(&series).to_csv(),
+                );
+            }
+        }
     }
 }
 

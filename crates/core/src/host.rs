@@ -341,6 +341,7 @@ impl HostAgent {
                     }
                     self.schedule_retry(group, attempt, api);
                 }
+                self.tel_decision(id, group, admitted, false, api);
             }
             Design::Endpoint { style, .. } => {
                 let plan = ProbePlan::new(style, self.cfg.probe_total);
@@ -366,6 +367,13 @@ impl HostAgent {
                     pending_size: 0,
                 };
                 self.flows.insert(id, flow);
+                let now = api.now();
+                if let Some(tel) = api.net.telemetry.as_deref_mut() {
+                    tel.metrics.inc("host.probes_started", 1);
+                    tel.metrics.add_gauge("flows.probing", 1.0);
+                    tel.recorder
+                        .record(now, "probe.start", format!("flow {id} group {group}"));
+                }
                 let start = self.control(
                     id,
                     api,
@@ -510,6 +518,7 @@ impl HostAgent {
         if counted {
             self.stats.decided[flow.group].inc();
         }
+        let group = flow.group;
         if accepted {
             if counted {
                 self.stats.accepted[flow.group].inc();
@@ -522,6 +531,7 @@ impl HostAgent {
             }
             self.schedule_retry(flow.group, flow.attempt, api);
         }
+        self.tel_decision(id, group, accepted, true, api);
     }
 
     /// Arm an exponential-back-off retry for a rejected flow, if the
@@ -556,7 +566,43 @@ impl HostAgent {
             return; // decided in the meantime
         }
         self.stats.timeouts.inc();
+        let now = api.now();
+        if let Some(tel) = api.net.telemetry.as_deref_mut() {
+            tel.metrics.inc("admission.timeouts", 1);
+            tel.recorder
+                .record(now, "admission.timeout", format!("flow {id}"));
+        }
         self.on_decision(id, false, api);
+    }
+
+    /// Note an admission verdict in the telemetry hub (no-op when
+    /// telemetry is off): adjust the live-flow gauges, bump the verdict
+    /// counter, and log a flight event.
+    fn tel_decision(
+        &mut self,
+        id: u64,
+        group: usize,
+        accepted: bool,
+        probing: bool,
+        api: &mut Api,
+    ) {
+        let now = api.now();
+        let Some(tel) = api.net.telemetry.as_deref_mut() else {
+            return;
+        };
+        if probing {
+            tel.metrics.add_gauge("flows.probing", -1.0);
+        }
+        if accepted {
+            tel.metrics.inc("admission.accepts", 1);
+            tel.metrics.add_gauge("flows.admitted", 1.0);
+            tel.recorder
+                .record(now, "admission.accept", format!("flow {id} group {group}"));
+        } else {
+            tel.metrics.inc("admission.rejects", 1);
+            tel.recorder
+                .record(now, "admission.reject", format!("flow {id} group {group}"));
+        }
     }
 }
 
@@ -574,6 +620,12 @@ fn backoff_for(policy: RetryPolicy, attempt: u32) -> SimDuration {
 impl Agent for HostAgent {
     fn on_start(&mut self, api: &mut Api) {
         self.flow_base = (api.node.0 as u64) << 32;
+        if let Some(tel) = api.net.telemetry.as_deref_mut() {
+            // Pre-register the live-flow gauges so the sampler's columns
+            // exist from the first tick even before any flow arrives.
+            tel.metrics.set_gauge("flows.admitted", 0.0);
+            tel.metrics.set_gauge("flows.probing", 0.0);
+        }
         let gap = self.cfg.demography.sample_interarrival(&mut self.rng);
         let first = self.cfg.start_arrivals_at.max(api.now()) + SimDuration::from_secs_f64(gap);
         api.timer_at(first, timer::ARRIVAL, 0);
@@ -602,7 +654,13 @@ impl Agent for HostAgent {
             timer::PROBE => self.probe_tick(data, api),
             timer::DATA => self.data_tick(data, api),
             timer::END => {
-                self.flows.remove(&data);
+                if let Some(flow) = self.flows.remove(&data) {
+                    if flow.phase == Phase::Sending {
+                        if let Some(tel) = api.net.telemetry.as_deref_mut() {
+                            tel.metrics.add_gauge("flows.admitted", -1.0);
+                        }
+                    }
+                }
             }
             timer::RETRY => {
                 let group = (data & 0xFFFF_FFFF) as usize;

@@ -42,6 +42,4 @@ pub use design::{Design, Group};
 pub use metrics::{GroupReport, Report};
 pub use multihop::MultihopScenario;
 pub use probe::{Placement, ProbePlan, ProbeStyle, Signal, Stage};
-#[allow(deprecated)]
-pub use scenario::run_seeds;
-pub use scenario::{RunConfig, Scenario, ScenarioError};
+pub use scenario::{RunConfig, RunOutput, Scenario, ScenarioError};

@@ -6,6 +6,7 @@
 //! the bench harness can persist raw results.
 
 use serde::Serialize;
+use telemetry::HistSummary;
 
 /// Per-group results.
 #[derive(Clone, Debug, Serialize)]
@@ -54,6 +55,9 @@ pub struct Report {
     pub delay_ms_mean: f64,
     /// Standard deviation of that delay, milliseconds.
     pub delay_ms_std: f64,
+    /// Delay distribution summary (quantiles in milliseconds), from the
+    /// sink's log-bucketed histogram over the measurement window.
+    pub delay_hist: HistSummary,
     /// Per-group breakdowns.
     pub groups: Vec<GroupReport>,
     /// Per-bottleneck-link data utilization (multi-hop scenarios).
@@ -91,6 +95,10 @@ impl Report {
         out.mark_fraction = mean(|r| r.mark_fraction);
         out.delay_ms_mean = mean(|r| r.delay_ms_mean);
         out.delay_ms_std = mean(|r| r.delay_ms_std);
+        out.delay_hist = {
+            let hists: Vec<&HistSummary> = reports.iter().map(|r| &r.delay_hist).collect();
+            HistSummary::average(&hists)
+        };
         out.timeouts = reports.iter().map(|r| r.timeouts).sum();
         out.leaked_flows = reports.iter().map(|r| r.leaked_flows).sum();
         out.events = reports.iter().map(|r| r.events).sum();
@@ -134,6 +142,7 @@ mod tests {
             mark_fraction: 0.0,
             delay_ms_mean: 22.0,
             delay_ms_std: 1.0,
+            delay_hist: HistSummary::default(),
             groups: vec![GroupReport {
                 name: "g".into(),
                 decided: acc + rej,

@@ -388,12 +388,14 @@ impl MultihopScenario {
         let total_rej: u64 = groups.iter().map(|g| g.rejected).sum();
         let mut timeouts = 0u64;
         let mut leaked_flows = 0u64;
+        let mut delay_hist = telemetry::LogHistogram::new();
         for gi in 0..4 {
             let h = sim.agent::<HostAgent>(hosts[gi]).expect("host");
             timeouts += h.stats.timeouts.since_mark();
             leaked_flows += h.stranded_flows() as u64;
             let s = sim.agent::<SinkAgent>(sinks[gi]).expect("sink");
             leaked_flows += s.undecided_flows() as u64;
+            delay_hist.merge(&s.stats.data_delay_hist);
         }
         let param = match self.design {
             Design::Endpoint { epsilon, .. } => epsilon,
@@ -423,6 +425,7 @@ impl MultihopScenario {
             mark_fraction: 0.0,
             delay_ms_mean: 0.0,
             delay_ms_std: 0.0,
+            delay_hist: telemetry::HistSummary::from_nanos(&delay_hist),
             groups,
             link_utils,
             timeouts,

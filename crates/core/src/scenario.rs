@@ -21,6 +21,7 @@ use netsim::{
 };
 use simcore::{SimDuration, SimRng, SimTime};
 use std::any::Any;
+use telemetry::{Telemetry, TelemetryConfig};
 use traffic::{Demography, SourceSpec};
 
 /// The periodic load-sampler driving MBAC's Measured Sum estimators.
@@ -155,6 +156,20 @@ pub struct Scenario {
     pub flaps_s: Vec<(f64, f64)>,
     /// Watchdogs and post-run checks (see [`RunConfig`]).
     pub run_config: RunConfig,
+    /// Optional telemetry capture (metrics, time-series sampler, flight
+    /// recorder). `None` keeps the hot path free of instrumentation.
+    pub telemetry: Option<TelemetryConfig>,
+}
+
+/// Everything a run produces: the [`Report`] plus, when the scenario was
+/// configured with [`Scenario::telemetry`], the captured telemetry hub.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The scenario's result metrics.
+    pub report: Report,
+    /// Captured telemetry (metrics registry, sampled time-series, flight
+    /// recorder), if it was enabled.
+    pub telemetry: Option<Box<Telemetry>>,
 }
 
 impl Scenario {
@@ -188,6 +203,7 @@ impl Scenario {
             control_loss: 0.0,
             flaps_s: Vec::new(),
             run_config: RunConfig::default(),
+            telemetry: None,
         }
     }
 
@@ -288,6 +304,13 @@ impl Scenario {
         self
     }
 
+    /// Enable telemetry capture (metrics, periodic time-series sampling,
+    /// flight recorder). Retrieve the hub with [`run_full`](Scenario::run_full).
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
     /// Largest packet size among the groups (sizes the buffer in bytes).
     fn max_pkt_bytes(&self) -> u32 {
         self.groups
@@ -306,6 +329,16 @@ impl Scenario {
     /// behaviour can `.unwrap()` (or use the deprecated
     /// [`run_or_panic`](Scenario::run_or_panic) shim).
     pub fn run(&self) -> Result<Report, ScenarioError> {
+        self.run_full().map(|o| o.report)
+    }
+
+    /// Like [`run`](Scenario::run), but also returns the telemetry hub
+    /// when the scenario was configured with one. On a failed run, if the
+    /// telemetry config names a dump directory, the flight recorder is
+    /// written there as `{label}-seed{seed}.flight.jsonl` before the error
+    /// propagates (the recorder itself stays reachable through any
+    /// [`TelemetryConfig::with_recorder`] handle the caller kept).
+    pub fn run_full(&self) -> Result<RunOutput, ScenarioError> {
         assert!(self.warmup_s < self.horizon_s);
         let root = SimRng::new(self.seed);
 
@@ -427,10 +460,52 @@ impl Scenario {
         if self.run_config.wants_lenient() {
             sim.set_lenient_scheduling(true);
         }
+        if let Some(tcfg) = &self.telemetry {
+            sim.net.telemetry = Some(Box::new(tcfg.build()));
+        }
 
-        // Warm up, snapshot, measure, then drain so every in-window data
-        // packet has either arrived or been dropped before counters are
-        // read (exact loss accounting).
+        let driven = self.drive(&mut sim, host_n, sink_n, bottleneck);
+        // Recover the hub before collecting so it survives both outcomes.
+        let tel = sim.net.telemetry.take();
+        match driven {
+            Ok(link_metrics) => Ok(RunOutput {
+                report: self.collect(&mut sim, host_n, sink_n, link_metrics),
+                telemetry: tel,
+            }),
+            Err(e) => {
+                if let Some(tel) = &tel {
+                    // RunErrors were already recorded by the sim loop; the
+                    // audit fires after it, so note it here.
+                    if let ScenarioError::Audit(a) = &e {
+                        tel.recorder
+                            .record(sim.queue.now(), "audit.error", a.to_string());
+                    }
+                    if let Some(dir) = self.telemetry.as_ref().and_then(|c| c.dump_dir.as_ref()) {
+                        let label = &self.telemetry.as_ref().expect("telemetry config").label;
+                        let path = dir.join(format!("{label}-seed{}.flight.jsonl", self.seed));
+                        if let Err(io) = tel.recorder.dump_jsonl(&path) {
+                            eprintln!("flight-recorder dump to {} failed: {io}", path.display());
+                        }
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Warm up, snapshot, measure, then drain so every in-window data
+    /// packet has either arrived or been dropped before counters are read
+    /// (exact loss accounting). Returns the bottleneck link metrics, which
+    /// must be sampled at the horizon rather than after the drain.
+    fn drive(
+        &self,
+        sim: &mut Sim,
+        host_n: NodeId,
+        sink_n: NodeId,
+        bottleneck: netsim::LinkId,
+    ) -> Result<(f64, f64, f64, f64), ScenarioError> {
+        let horizon = SimTime::from_secs_f64(self.horizon_s);
+        let warmup = SimTime::from_secs_f64(self.warmup_s);
         sim.try_run_until(warmup)?;
         for l in sim.net.links_mut() {
             l.stats.mark_all();
@@ -444,14 +519,13 @@ impl Scenario {
             .stats
             .mark_all();
         sim.try_run_until(horizon)?;
-        // Link-level metrics are read at the horizon, before the drain.
-        let link_metrics = self.read_link_metrics(&sim, bottleneck);
+        let link_metrics = self.read_link_metrics(sim, bottleneck);
         sim.try_run_until(horizon + SimDuration::from_secs(5))?;
 
         if self.run_config.audit {
             sim.check_conservation()?;
         }
-        Ok(self.collect(&mut sim, host_n, sink_n, link_metrics))
+        Ok(link_metrics)
     }
 
     /// Build and run the simulation, producing a [`Report`] or a graceful
@@ -528,7 +602,13 @@ impl Scenario {
                 host.stranded_flows() as u64,
             )
         };
-        let (received, delay_ms_mean, delay_ms_std, sink_undecided): (Vec<u64>, f64, f64, u64) = {
+        let (received, delay_ms_mean, delay_ms_std, delay_hist, sink_undecided): (
+            Vec<u64>,
+            f64,
+            f64,
+            telemetry::HistSummary,
+            u64,
+        ) = {
             let sink = sim.agent::<SinkAgent>(sink_n).expect("sink");
             (
                 sink.stats
@@ -538,6 +618,7 @@ impl Scenario {
                     .collect(),
                 sink.stats.data_delay.mean() * 1_000.0,
                 sink.stats.data_delay.std_dev() * 1_000.0,
+                telemetry::HistSummary::from_nanos(&sink.stats.data_delay_hist),
                 sink.undecided_flows() as u64,
             )
         };
@@ -599,6 +680,7 @@ impl Scenario {
             mark_fraction,
             delay_ms_mean,
             delay_ms_std,
+            delay_hist,
             groups,
             link_utils: vec![utilization],
             timeouts,

@@ -21,6 +21,7 @@ use simcore::stats::{Counter, Welford};
 use simcore::SimDuration;
 use std::any::Any;
 use std::collections::HashMap;
+use telemetry::LogHistogram;
 
 /// Timer kinds used by the sink.
 pub mod timer {
@@ -69,6 +70,9 @@ pub struct SinkStats {
     /// admission-controlled queue is bounded; this lets reports verify
     /// that claim.
     pub data_delay: Welford,
+    /// Full distribution of that delay, log-bucketed in nanoseconds
+    /// (quantiles for the report's delay summary).
+    pub data_delay_hist: LogHistogram,
     /// Undecided flow records reclaimed by the TTL garbage collector.
     pub expired: Counter,
     /// Timer events of an unknown kind (counted and ignored).
@@ -84,6 +88,7 @@ impl SinkStats {
             accepts: Counter::new(),
             rejects: Counter::new(),
             data_delay: Welford::new(),
+            data_delay_hist: LogHistogram::new(),
             expired: Counter::new(),
             stray_timers: Counter::new(),
         }
@@ -104,6 +109,7 @@ impl SinkStats {
         self.expired.mark();
         self.stray_timers.mark();
         self.data_delay.reset();
+        self.data_delay_hist.reset();
     }
 }
 
@@ -314,9 +320,13 @@ impl Agent for SinkAgent {
                 if in_window && g < self.stats.data_received.len() {
                     self.stats.data_received[g].inc();
                     self.stats.data_bytes[g].add(pkt.size as u64);
-                    self.stats
-                        .data_delay
-                        .add(api.now().since(pkt.created).as_secs_f64());
+                    let delay = api.now().since(pkt.created);
+                    self.stats.data_delay.add(delay.as_secs_f64());
+                    let delay_ns = delay.as_nanos();
+                    self.stats.data_delay_hist.record(delay_ns);
+                    if let Some(tel) = api.net.telemetry.as_deref_mut() {
+                        tel.metrics.observe("sink.delay_ns", delay_ns);
+                    }
                 }
             }
             TrafficClass::Probe => self.on_probe(pkt, api),

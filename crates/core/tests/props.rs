@@ -106,6 +106,7 @@ proptest! {
             mark_fraction: 0.0,
             delay_ms_mean: 20.0,
             delay_ms_std: 2.0,
+            delay_hist: Default::default(),
             groups: vec![GroupReport {
                 name: "g".into(),
                 decided: 10,

@@ -1,0 +1,66 @@
+//! Compatibility coverage for the deprecated run-entry shims. They stay
+//! until downstreams migrate; this file is the only place allowed to call
+//! them, so `#[allow(deprecated)]` never leaks into production code.
+#![allow(deprecated)]
+
+use eac::design::Design;
+use eac::probe::{Placement, ProbeStyle, Signal};
+use eac::scenario::{run_seeds, Scenario};
+use eac::MultihopScenario;
+
+fn short() -> Scenario {
+    Scenario::basic()
+        .design(Design::endpoint(
+            Signal::Drop,
+            Placement::InBand,
+            ProbeStyle::SlowStart,
+            0.01,
+        ))
+        .horizon_secs(120.0)
+        .warmup_secs(30.0)
+        .seed(1)
+}
+
+#[test]
+fn try_run_matches_run() {
+    let s = short();
+    let a = s.run().unwrap();
+    let b = s.try_run().unwrap();
+    assert_eq!(a.utilization, b.utilization);
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn run_or_panic_matches_run() {
+    let s = short();
+    let a = s.run().unwrap();
+    let b = s.run_or_panic();
+    assert_eq!(a.utilization, b.utilization);
+}
+
+#[test]
+fn free_run_seeds_averages() {
+    let s = short();
+    let avg = run_seeds(&s, &[1, 2]);
+    let a = s.clone().seed(1).run().unwrap();
+    let b = s.seed(2).run().unwrap();
+    assert_eq!(avg.events, a.events + b.events);
+    assert!((avg.utilization - (a.utilization + b.utilization) / 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn multihop_shims_run() {
+    let mh = {
+        let mut m = MultihopScenario::tables56();
+        m.horizon_s = 150.0;
+        m.warmup_s = 30.0;
+        m.tau_long_s = 30.0;
+        m.tau_cross_s = 30.0;
+        m
+    };
+    let a = mh.run().unwrap();
+    let b = mh.run_or_panic();
+    assert_eq!(a.events, b.events);
+    let c = mh.run_audited().unwrap();
+    assert_eq!(a.groups.len(), c.groups.len());
+}

@@ -1,0 +1,84 @@
+//! Scenario-level telemetry integration: the hub comes back populated,
+//! enabling it never perturbs the report, and a failed run dumps its
+//! flight recorder.
+
+use eac::scenario::Scenario;
+use telemetry::TelemetryConfig;
+
+fn short() -> Scenario {
+    Scenario::basic()
+        .tau(2.0)
+        .horizon_secs(200.0)
+        .warmup_secs(40.0)
+        .seed(11)
+}
+
+#[test]
+fn run_full_captures_series_metrics_and_events() {
+    let out = short()
+        .telemetry(TelemetryConfig::new().sample_period(1.0))
+        .run_full()
+        .unwrap();
+    let tel = out.telemetry.expect("telemetry was enabled");
+
+    // The sampler ticked once per simulated second up to the drain end.
+    let series = &tel.sampler.series;
+    assert!(series.len() >= 200, "only {} samples", series.len());
+    assert!(series.column("l0.queue_pkts").is_some());
+    assert!(series.column("l0.util").is_some());
+    assert!(series.column("flows.admitted").is_some());
+
+    // Admission lifecycle counters and histograms were exercised.
+    assert!(tel.metrics.counter("host.probes_started") > 0);
+    assert!(tel.metrics.counter("admission.accepts") > 0);
+    let h = tel.metrics.hist("sink.delay_ns").expect("delay histogram");
+    assert!(h.count() > 0);
+
+    // Flight events recorded (probe starts at minimum).
+    assert!(!tel.recorder.snapshot().is_empty());
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_report() {
+    let plain = short().run().unwrap();
+    let traced = short()
+        .telemetry(TelemetryConfig::new())
+        .run_full()
+        .unwrap()
+        .report;
+    assert_eq!(plain.utilization, traced.utilization);
+    assert_eq!(plain.data_loss, traced.data_loss);
+    assert_eq!(plain.blocking, traced.blocking);
+    assert_eq!(plain.events, traced.events);
+    assert_eq!(plain.delay_hist, traced.delay_hist);
+}
+
+#[test]
+fn failed_run_dumps_flight_recorder() {
+    let dir = std::env::temp_dir().join("eac-telemetry-dump-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let err = short()
+        .event_budget(20_000)
+        .telemetry(TelemetryConfig::new().dump_to(&dir).label("budget"))
+        .run_full()
+        .unwrap_err();
+    assert!(matches!(err, eac::ScenarioError::Run(_)), "{err}");
+
+    let dump = dir.join("budget-seed11.flight.jsonl");
+    let text = std::fs::read_to_string(&dump).expect("flight dump written");
+    assert!(
+        text.contains("run.error"),
+        "dump lacks the triggering event:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_delay_hist_is_populated() {
+    let r = short().run().unwrap();
+    assert!(r.delay_hist.count > 0);
+    assert!(r.delay_hist.p50_ms >= r.delay_hist.min_ms);
+    assert!(r.delay_hist.p99_ms <= r.delay_hist.max_ms);
+    // One-way propagation alone is 20 ms, so the median must exceed it.
+    assert!(r.delay_hist.p50_ms >= 20.0, "{:?}", r.delay_hist);
+}

@@ -64,6 +64,20 @@ impl LinkStats {
         }
     }
 
+    /// Lifetime packets dropped, summed over all classes (telemetry
+    /// sampling works on lifetime totals and differences them itself).
+    pub fn total_dropped(&self) -> u64 {
+        self.per_class.iter().map(|cs| cs.dropped.total()).sum()
+    }
+
+    /// Lifetime bytes transmitted, summed over all classes.
+    pub fn total_transmitted_bytes(&self) -> u64 {
+        self.per_class
+            .iter()
+            .map(|cs| cs.transmitted_bytes.total())
+            .sum()
+    }
+
     /// Utilization of `class` since the mark against a reference rate:
     /// transmitted bytes / (`rate_bps` × `interval`).
     pub fn utilization(&self, c: TrafficClass, rate_bps: u64, interval: SimDuration) -> f64 {

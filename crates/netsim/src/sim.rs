@@ -307,7 +307,8 @@ impl Sim {
     pub fn try_run_until(&mut self, until: SimTime) -> Result<(), RunError> {
         if !self.started {
             self.dispatch_start();
-            self.check_schedule_violation()?;
+            self.check_schedule_violation()
+                .map_err(|e| self.note_run_error(e))?;
         }
         while let Some(t) = self.queue.peek_time() {
             if t > until {
@@ -315,22 +316,30 @@ impl Sim {
             }
             if let Some(budget) = self.event_budget {
                 if self.queue.events_fired() >= budget {
-                    return Err(RunError::EventBudgetExceeded {
+                    return Err(self.note_run_error(RunError::EventBudgetExceeded {
                         budget,
                         at: self.queue.now(),
-                    });
+                    }));
                 }
             }
             if t < self.last_event_time {
-                return Err(RunError::TimeRegression {
+                return Err(self.note_run_error(RunError::TimeRegression {
                     from: self.last_event_time,
                     to: t,
-                });
+                }));
             }
             self.last_event_time = t;
+            // Telemetry sampling rides the event clock: one cheap Option
+            // check per event when disabled, sample rows stamped at exact
+            // tick boundaries when enabled.
+            if self.net.telemetry.is_some() {
+                let snap = self.queue.snapshot();
+                self.net.sample_telemetry(t, snap);
+            }
             let (_, ev) = self.queue.pop().expect("peeked");
             self.handle(ev);
-            self.check_schedule_violation()?;
+            self.check_schedule_violation()
+                .map_err(|e| self.note_run_error(e))?;
         }
         Ok(())
     }
@@ -345,6 +354,16 @@ impl Sim {
             }),
             None => Ok(()),
         }
+    }
+
+    /// Stamp a fatal run error into the flight recorder (if telemetry is
+    /// installed) so the dump carries its own cause of death.
+    fn note_run_error(&self, e: RunError) -> RunError {
+        if let Some(tel) = self.net.telemetry.as_deref() {
+            tel.recorder
+                .record(self.queue.now(), "run.error", e.to_string());
+        }
+        e
     }
 
     /// Run until the calendar is empty or the next event is after `until`.

@@ -7,12 +7,24 @@
 use crate::audit::AuditCounters;
 use crate::fault::{FaultPlan, FaultState, FaultStats, WireFate};
 use crate::link::{Link, LinkAction};
-use crate::packet::{LinkId, NodeId, Packet};
+use crate::packet::{LinkId, NodeId, Packet, TrafficClass};
 use crate::qdisc::{Qdisc, VirtualQueue};
 use crate::sim::Event;
 use crate::trace::TraceKind;
-use simcore::{EventQueue, SimDuration, SimRng};
+use simcore::{EventQueue, QueueSnapshot, SimDuration, SimRng, SimTime};
 use std::collections::VecDeque;
+use telemetry::Telemetry;
+
+/// Per-link lifetime-counter snapshot from the previous sample tick, so
+/// the sampler can emit per-interval rates from monotone totals.
+#[derive(Clone, Copy, Default)]
+struct LinkPrev {
+    tx_bytes: u64,
+    data_dropped: u64,
+    data_offered: u64,
+    probe_dropped: u64,
+    probe_offered: u64,
+}
 
 /// The network: nodes, links, routes.
 pub struct Network {
@@ -25,6 +37,14 @@ pub struct Network {
     pub orphan_packets: u64,
     /// Optional packet-event tracer (see [`crate::trace`]).
     pub tracer: Option<crate::trace::Tracer>,
+    /// Optional telemetry hub (metrics + sampler + flight recorder). Like
+    /// the tracer, `None` is the fast path: every instrumented touch point
+    /// is behind one `Option` check.
+    pub telemetry: Option<Box<Telemetry>>,
+    /// Per-link counter snapshots at the previous sample tick.
+    tele_prev: Vec<LinkPrev>,
+    /// Gauge column layout, frozen at the first sample.
+    tele_gauges: Vec<String>,
     /// Packet-conservation counters (see [`crate::audit`]).
     pub audit: AuditCounters,
     /// Installed fault state, if any (see [`crate::fault`]).
@@ -53,6 +73,9 @@ impl Network {
             orphan_packets: 0,
             blackboard: None,
             tracer: None,
+            telemetry: None,
+            tele_prev: Vec::new(),
+            tele_gauges: Vec::new(),
             audit: AuditCounters::default(),
             faults: None,
         }
@@ -219,12 +242,39 @@ impl Network {
             if let Some(t) = self.tracer.as_mut() {
                 t.record(q.now(), TraceKind::Drop, None, &pkt);
             }
+            if let Some(tel) = self.telemetry.as_deref_mut() {
+                tel.metrics.inc("net.drops.no_route", 1);
+                tel.recorder.record(
+                    q.now(),
+                    "drop.no_route",
+                    format!("flow {} stranded at n{}", pkt.flow.0, node.0),
+                );
+            }
             return;
         };
         let now = q.now();
+        let tel_on = self.telemetry.is_some();
+        let (flow, class) = (pkt.flow.0, pkt.class);
         let link = &mut self.links[lid.0 as usize];
+        let drops_before = if tel_on {
+            link.stats.total_dropped()
+        } else {
+            0
+        };
         link.receive(pkt, now, &mut self.tracer);
         let action = link.try_start(now);
+        if tel_on {
+            let dropped = link.stats.total_dropped() - drops_before;
+            if dropped > 0 {
+                let tel = self.telemetry.as_deref_mut().expect("telemetry on");
+                tel.metrics.inc("net.drops.queue", dropped);
+                tel.recorder.record(
+                    now,
+                    "drop.queue",
+                    format!("l{} flow {flow} class {class:?}", lid.0),
+                );
+            }
+        }
         self.apply(lid, action, q);
     }
 
@@ -245,6 +295,14 @@ impl Network {
             if let Some(t) = self.tracer.as_mut() {
                 t.record(now, TraceKind::Drop, Some(lid), &pkt);
             }
+            if let Some(tel) = self.telemetry.as_deref_mut() {
+                tel.metrics.inc("net.drops.down_link", 1);
+                tel.recorder.record(
+                    now,
+                    "drop.down_link",
+                    format!("l{} flow {} class {:?}", lid.0, pkt.flow.0, pkt.class),
+                );
+            }
             return; // a down link never restarts; LinkUp will kick it
         }
         let fate = match self.faults.as_mut() {
@@ -258,6 +316,14 @@ impl Network {
             WireFate::Lost => {
                 if let Some(t) = self.tracer.as_mut() {
                     t.record(now, TraceKind::Drop, Some(lid), &pkt);
+                }
+                if let Some(tel) = self.telemetry.as_deref_mut() {
+                    tel.metrics.inc("net.drops.wire", 1);
+                    tel.recorder.record(
+                        now,
+                        "drop.wire",
+                        format!("l{} flow {} class {:?}", lid.0, pkt.flow.0, pkt.class),
+                    );
                 }
             }
             WireFate::Deliver { extra, dup_extra } => {
@@ -295,6 +361,11 @@ impl Network {
         }
         link.set_up(up);
         self.routes_dirty = true;
+        if let Some(tel) = self.telemetry.as_deref_mut() {
+            let kind = if up { "link.up" } else { "link.down" };
+            tel.metrics.inc(kind, 1);
+            tel.recorder.record(q.now(), kind, format!("l{}", lid.0));
+        }
         if up {
             q.schedule_in(SimDuration::ZERO, Event::TryDequeue { link: lid });
         }
@@ -305,6 +376,84 @@ impl Network {
         let now = q.now();
         let action = self.links[lid.0 as usize].wakeup(now);
         self.apply(lid, action, q);
+    }
+
+    /// Drive the telemetry sampler: emit one row per tick boundary at or
+    /// before `t` (the timestamp of the event about to be dispatched),
+    /// reading per-link queue depth, utilization and per-class drop rates
+    /// plus every registered gauge. The column layout freezes at the
+    /// first sample; gauges registered later are not sampled (agents
+    /// initialize theirs in `on_start`, which precedes every event).
+    pub fn sample_telemetry(&mut self, t: SimTime, snap: QueueSnapshot) {
+        let Some(tel) = self.telemetry.as_deref() else {
+            return;
+        };
+        if !tel.sampler.due(t) {
+            return;
+        }
+        // Take the hub out so link iteration and sampler writes do not
+        // fight over `&mut self`.
+        let mut tel = self.telemetry.take().expect("telemetry just observed");
+        if !tel.sampler.series.has_columns() {
+            let mut cols = vec!["events_fired".to_string(), "events_pending".to_string()];
+            for l in &self.links {
+                let i = l.id.0;
+                cols.push(format!("l{i}.queue_pkts"));
+                cols.push(format!("l{i}.queue_bytes"));
+                cols.push(format!("l{i}.util"));
+                cols.push(format!("l{i}.drop_data"));
+                cols.push(format!("l{i}.drop_probe"));
+            }
+            self.tele_gauges = tel.metrics.gauge_names();
+            cols.extend(self.tele_gauges.iter().cloned());
+            tel.sampler.series.set_columns(cols);
+            self.tele_prev = vec![LinkPrev::default(); self.links.len()];
+        }
+        let period_s = tel.sampler.period().as_secs_f64();
+        let rate = |part: u64, whole: u64| {
+            if whole == 0 {
+                0.0
+            } else {
+                part as f64 / whole as f64
+            }
+        };
+        while tel.sampler.due(t) {
+            let at = tel.sampler.tick();
+            let mut row = Vec::with_capacity(2 + 5 * self.links.len() + self.tele_gauges.len());
+            row.push(snap.fired as f64);
+            row.push(snap.pending as f64);
+            for (l, prev) in self.links.iter().zip(self.tele_prev.iter_mut()) {
+                let data = l.stats.class(TrafficClass::Data);
+                let probe = l.stats.class(TrafficClass::Probe);
+                let cur = LinkPrev {
+                    tx_bytes: l.stats.total_transmitted_bytes(),
+                    data_dropped: data.dropped.total(),
+                    data_offered: data.offered.total(),
+                    probe_dropped: probe.dropped.total(),
+                    probe_offered: probe.offered.total(),
+                };
+                row.push(l.queue_len() as f64);
+                row.push(l.queue_bytes() as f64);
+                row.push(
+                    (cur.tx_bytes - prev.tx_bytes) as f64 * 8.0
+                        / (l.bandwidth_bps as f64 * period_s),
+                );
+                row.push(rate(
+                    cur.data_dropped - prev.data_dropped,
+                    cur.data_offered - prev.data_offered,
+                ));
+                row.push(rate(
+                    cur.probe_dropped - prev.probe_dropped,
+                    cur.probe_offered - prev.probe_offered,
+                ));
+                *prev = cur;
+            }
+            for g in &self.tele_gauges {
+                row.push(tel.metrics.gauge(g));
+            }
+            tel.sampler.series.push_row(at.as_nanos(), &row);
+        }
+        self.telemetry = Some(tel);
     }
 }
 

@@ -83,15 +83,17 @@ impl fmt::Display for TraceRecord {
 
 /// An event recorder with an optional class filter and a hard capacity
 /// (oldest records are NOT overwritten — recording stops at capacity and
-/// `truncated()` reports it, which keeps memory bounded and semantics
-/// obvious).
+/// every further record is *counted* in [`dropped`](Tracer::dropped),
+/// which keeps memory bounded while quantifying what the trace is
+/// missing).
 #[derive(Debug)]
 pub struct Tracer {
     records: Vec<TraceRecord>,
     capacity: usize,
     /// Record only this class (None = all classes).
     filter_class: Option<TrafficClass>,
-    truncated: bool,
+    /// Records discarded past capacity.
+    dropped: u64,
 }
 
 impl Tracer {
@@ -101,7 +103,7 @@ impl Tracer {
             records: Vec::new(),
             capacity,
             filter_class: None,
-            truncated: false,
+            dropped: 0,
         }
     }
 
@@ -135,7 +137,7 @@ impl Tracer {
             }
         }
         if self.records.len() >= self.capacity {
-            self.truncated = true;
+            self.dropped += 1;
             return;
         }
         self.records.push(TraceRecord {
@@ -156,7 +158,12 @@ impl Tracer {
 
     /// True if the capacity was hit and events were lost.
     pub fn truncated(&self) -> bool {
-        self.truncated
+        self.dropped > 0
+    }
+
+    /// Number of records discarded after the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Count events of one kind.
@@ -246,6 +253,31 @@ mod tests {
             );
         }
         assert_eq!(t.records().len(), 2);
+        assert!(t.truncated());
+        // Every discarded record is counted, not silently swallowed.
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn filtered_records_do_not_count_as_dropped() {
+        let mut t = Tracer::new(1).with_class(TrafficClass::Probe);
+        t.record(
+            SimTime::ZERO,
+            TraceKind::Enqueue,
+            None,
+            &pkt(TrafficClass::Data, 0), // filtered out, not a capacity drop
+        );
+        assert_eq!(t.dropped(), 0);
+        for i in 1..4 {
+            t.record(
+                SimTime::ZERO,
+                TraceKind::Enqueue,
+                None,
+                &pkt(TrafficClass::Probe, i),
+            );
+        }
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.dropped(), 2);
         assert!(t.truncated());
     }
 

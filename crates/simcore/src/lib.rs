@@ -22,6 +22,6 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use queue::{EventQueue, HeapEventQueue, ScheduleViolation};
+pub use queue::{EventQueue, HeapEventQueue, QueueSnapshot, ScheduleViolation};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -47,6 +47,18 @@ pub struct ScheduleViolation {
     pub now: SimTime,
 }
 
+/// A cheap point-in-time view of a calendar, read by periodic samplers
+/// (clock, throughput, backlog) without touching queue internals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueSnapshot {
+    /// The current simulation clock.
+    pub now: SimTime,
+    /// Events fired so far.
+    pub fired: u64,
+    /// Events pending.
+    pub pending: usize,
+}
+
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -156,6 +168,16 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn events_fired(&self) -> u64 {
         self.popped
+    }
+
+    /// A point-in-time view of the calendar for samplers and telemetry.
+    #[inline]
+    pub fn snapshot(&self) -> QueueSnapshot {
+        QueueSnapshot {
+            now: self.now,
+            fired: self.popped,
+            pending: self.len(),
+        }
     }
 
     /// In lenient mode a past-timestamp schedule records a
@@ -352,6 +374,16 @@ impl<E> HeapEventQueue<E> {
     #[inline]
     pub fn events_fired(&self) -> u64 {
         self.popped
+    }
+
+    /// A point-in-time view of the calendar for samplers and telemetry.
+    #[inline]
+    pub fn snapshot(&self) -> QueueSnapshot {
+        QueueSnapshot {
+            now: self.now,
+            fired: self.popped,
+            pending: self.len(),
+        }
     }
 
     /// Schedule `event` at absolute time `at`. Panics if `at` is in the past.

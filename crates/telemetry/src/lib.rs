@@ -1,0 +1,126 @@
+//! # telemetry — observability for simulation runs
+//!
+//! Three instruments behind one hub, all zero-cost when disabled (the
+//! simulator guards every touch point with a single `Option` check):
+//!
+//! - [`Metrics`]: named counters, gauges and log-bucketed (HDR-style)
+//!   [`LogHistogram`]s. Exact-integer bucket counts make histogram merges
+//!   associative, commutative and order-independent, so per-seed metrics
+//!   merge deterministically across sweep workers.
+//! - [`Sampler`]: periodic sampling driven by *simulation* time into a
+//!   columnar [`TimeSeries`] (per-link queue depth, utilization, drop
+//!   rates, admitted/probing flow gauges), exported as CSV.
+//! - [`FlightRecorder`]: a bounded ring of recent structured events
+//!   (admission verdicts, drops, flaps, watchdog trips) dumped to JSONL
+//!   when a run dies, so post-mortems start with the final seconds of
+//!   context instead of a bare error string.
+//!
+//! The crate is deliberately low in the dependency graph (simcore + the
+//! serialization shims only): `netsim` owns the hot-path touch points,
+//! `eac` wires scenario plumbing, and `eac-bench` merges, aggregates and
+//! exports across sweep grids.
+
+pub mod hist;
+pub mod metrics;
+pub mod recorder;
+pub mod sampler;
+pub mod series;
+
+pub use hist::{HistSummary, LogHistogram};
+pub use metrics::Metrics;
+pub use recorder::{FlightEvent, FlightRecorder};
+pub use sampler::Sampler;
+pub use series::TimeSeries;
+
+use simcore::SimDuration;
+use std::path::PathBuf;
+
+/// The per-run instrument hub installed into a simulation.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    /// Counters, gauges, histograms.
+    pub metrics: Metrics,
+    /// Periodic time-series sampler.
+    pub sampler: Sampler,
+    /// Recent-event ring buffer.
+    pub recorder: FlightRecorder,
+}
+
+/// How to instrument a run. `Default` gives a 1 s sampling period, a
+/// 4096-event flight ring, no dump directory.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Sampler tick period, seconds of simulation time.
+    pub sample_period_s: f64,
+    /// Flight-recorder ring capacity.
+    pub recorder_capacity: usize,
+    /// Use this (shared) recorder handle instead of a fresh ring — the
+    /// sweep executor passes one it retains outside `catch_unwind`.
+    pub recorder: Option<FlightRecorder>,
+    /// Where to dump the flight ring when the run fails; `None` leaves
+    /// dumping to the caller.
+    pub dump_dir: Option<PathBuf>,
+    /// File-name stem for dumps (e.g. `d0_s1`).
+    pub label: String,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            sample_period_s: 1.0,
+            recorder_capacity: 4096,
+            recorder: None,
+            dump_dir: None,
+            label: "run".to_string(),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the sampling period (seconds of simulation time).
+    pub fn sample_period(mut self, secs: f64) -> Self {
+        self.sample_period_s = secs;
+        self
+    }
+
+    /// Set the flight-ring capacity.
+    pub fn recorder_capacity(mut self, cap: usize) -> Self {
+        self.recorder_capacity = cap;
+        self
+    }
+
+    /// Record into an existing shared recorder handle.
+    pub fn with_recorder(mut self, rec: FlightRecorder) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Dump the flight ring into `dir` when the run fails.
+    pub fn dump_to(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dump_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the dump file-name stem.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Instantiate the instrument hub.
+    pub fn build(&self) -> Telemetry {
+        Telemetry {
+            metrics: Metrics::new(),
+            sampler: Sampler::new(SimDuration::from_secs_f64(self.sample_period_s)),
+            recorder: self
+                .recorder
+                .clone()
+                .unwrap_or_else(|| FlightRecorder::new(self.recorder_capacity)),
+        }
+    }
+}

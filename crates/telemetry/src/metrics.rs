@@ -1,0 +1,185 @@
+//! Named counters, gauges and histograms behind one registry.
+//!
+//! Keys live in `BTreeMap`s so every iteration (serialization, gauge
+//! column layout, merging) is in sorted-name order — a requirement for
+//! the byte-identical serial-vs-pooled sweep guarantee.
+
+use crate::hist::LogHistogram;
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+
+/// A registry of named counters (`u64`, monotone), gauges (`f64`,
+/// instantaneous) and log-bucketed histograms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, LogHistogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add `by` to a counter, creating it at zero.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = v;
+        } else {
+            self.gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Add `by` (possibly negative) to a gauge, creating it at zero.
+    pub fn add_gauge(&mut self, name: &str, by: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g += by;
+        } else {
+            self.gauges.insert(name.to_string(), by);
+        }
+    }
+
+    /// Record one observation into a histogram, creating it empty.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.record(v);
+        } else {
+            let mut h = LogHistogram::new();
+            h.record(v);
+            self.hists.insert(name.to_string(), h);
+        }
+    }
+
+    /// Current counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value (0.0 if absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// A histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&LogHistogram> {
+        self.hists.get(name)
+    }
+
+    /// Gauge names in sorted order (the sampler's column layout).
+    pub fn gauge_names(&self) -> Vec<String> {
+        self.gauges.keys().cloned().collect()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Fold another registry into this one: counters and gauges sum,
+    /// histograms merge bucket-wise. Exact-integer counter/histogram
+    /// merges are order-independent; the sweep folds in seed order so
+    /// gauge sums are deterministic too.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+impl Serialize for Metrics {
+    fn to_value(&self) -> Value {
+        let obj = |it: Vec<(String, Value)>| Value::Object(it);
+        Value::Object(vec![
+            (
+                "counters".into(),
+                obj(self
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+                    .collect()),
+            ),
+            (
+                "gauges".into(),
+                obj(self
+                    .gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                    .collect()),
+            ),
+            (
+                "histograms".into(),
+                obj(self
+                    .hists
+                    .iter()
+                    .map(|(k, h)| (k.clone(), h.to_value()))
+                    .collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let mut m = Metrics::new();
+        m.inc("drops", 3);
+        m.inc("drops", 2);
+        m.set_gauge("flows", 4.0);
+        m.add_gauge("flows", -1.0);
+        m.observe("delay", 100);
+        m.observe("delay", 200);
+        assert_eq!(m.counter("drops"), 5);
+        assert_eq!(m.gauge("flows"), 3.0);
+        assert_eq!(m.hist("delay").unwrap().count(), 2);
+        assert_eq!(m.counter("absent"), 0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Metrics::new();
+        a.inc("x", 1);
+        a.observe("h", 10);
+        let mut b = Metrics::new();
+        b.inc("x", 2);
+        b.inc("y", 7);
+        b.set_gauge("g", 1.5);
+        b.observe("h", 20);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 7);
+        assert_eq!(a.gauge("g"), 1.5);
+        assert_eq!(a.hist("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn serializes_in_sorted_key_order() {
+        let mut m = Metrics::new();
+        m.inc("zebra", 1);
+        m.inc("alpha", 1);
+        let json = serde_json::to_string(&m).unwrap();
+        let za = json.find("zebra").unwrap();
+        let al = json.find("alpha").unwrap();
+        assert!(al < za, "{json}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Flight recorder: a bounded ring of recent structured events.
+//!
+//! Always recording, never growing: the newest `capacity` events survive,
+//! older ones are counted and discarded. When a run dies (a `RunError`, a
+//! conservation-audit failure, a panicked sweep job) the ring is dumped to
+//! JSONL so the last moments before the failure are inspectable.
+//!
+//! The handle is `Arc<Mutex<_>>`-cloneable so the sweep executor can keep
+//! a reference outside a `catch_unwind` boundary while the simulation
+//! records through its own clone; each simulation run owns exactly one
+//! recorder, so the lock is uncontended.
+
+use serde::{Serialize, Value};
+use simcore::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightEvent {
+    /// Monotone sequence number (survives ring eviction).
+    pub seq: u64,
+    /// Simulation time, nanoseconds.
+    pub at_ns: u64,
+    /// Event kind, e.g. `admission.accept`, `drop.queue`, `run.error`.
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl Serialize for FlightEvent {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("seq".into(), Value::UInt(self.seq)),
+            ("t_s".into(), Value::Float(self.at_ns as f64 / 1e9)),
+            ("kind".into(), Value::Str(self.kind.clone())),
+            ("detail".into(), Value::Str(self.detail.clone())),
+        ])
+    }
+}
+
+struct Ring {
+    capacity: usize,
+    buf: VecDeque<FlightEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A cloneable handle to the event ring.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<Ring>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the newest `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(Ring {
+                capacity: capacity.max(1),
+                buf: VecDeque::new(),
+                next_seq: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Append an event, evicting the oldest past capacity.
+    pub fn record(&self, at: SimTime, kind: &str, detail: impl Into<String>) {
+        let mut r = self.inner.lock().expect("recorder lock");
+        if r.buf.len() == r.capacity {
+            r.buf.pop_front();
+            r.dropped += 1;
+        }
+        let seq = r.next_seq;
+        r.next_seq += 1;
+        r.buf.push_back(FlightEvent {
+            seq,
+            at_ns: at.as_nanos(),
+            kind: kind.to_string(),
+            detail: detail.into(),
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let r = self.inner.lock().expect("recorder lock");
+        r.buf.iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("recorder lock").buf.len()
+    }
+
+    /// True when nothing has been recorded (or everything evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted past capacity so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("recorder lock").dropped
+    }
+
+    /// The retained events as JSONL (one JSON object per line). A header
+    /// line records how many older events were evicted.
+    pub fn to_jsonl(&self) -> String {
+        let (events, dropped) = {
+            let r = self.inner.lock().expect("recorder lock");
+            (r.buf.iter().cloned().collect::<Vec<_>>(), r.dropped)
+        };
+        let mut out = String::new();
+        let header = Value::Object(vec![
+            ("kind".into(), Value::Str("flight.header".into())),
+            ("retained".into(), Value::UInt(events.len() as u64)),
+            ("evicted".into(), Value::UInt(dropped)),
+        ]);
+        out.push_str(&serde_json::to_string(&header).expect("header json"));
+        out.push('\n');
+        for ev in &events {
+            out.push_str(&serde_json::to_string(ev).expect("event json"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the JSONL dump to `path`, creating parent directories.
+    pub fn dump_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.inner.lock().expect("recorder lock");
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &r.capacity)
+            .field("len", &r.buf.len())
+            .field("dropped", &r.dropped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_and_counts_evictions() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            rec.record(SimTime::from_nanos(i), "tick", format!("{i}"));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        let evs = rec.snapshot();
+        assert_eq!(evs[0].seq, 2);
+        assert_eq!(evs[2].seq, 4);
+        assert_eq!(evs[2].detail, "4");
+    }
+
+    #[test]
+    fn jsonl_has_header_plus_one_line_per_event() {
+        let rec = FlightRecorder::new(8);
+        rec.record(SimTime::from_nanos(1_500_000_000), "drop.queue", "flow 7");
+        let dump = rec.to_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("flight.header"));
+        assert!(lines[1].contains("drop.queue"));
+        assert!(lines[1].contains("1.5"));
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let a = FlightRecorder::new(4);
+        let b = a.clone();
+        b.record(SimTime::ZERO, "x", "");
+        assert_eq!(a.len(), 1);
+    }
+}

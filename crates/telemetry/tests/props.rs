@@ -1,0 +1,107 @@
+//! Property tests of the histogram-merge algebra.
+//!
+//! The pooled sweep merges per-seed metrics in seed order, but the
+//! byte-identity guarantee (jobs 8 == jobs 1, PR 2) only holds if the
+//! merge itself cannot observe ordering or grouping: bucket counts are
+//! exact integers, so merging must form a commutative monoid and any
+//! partition of the observations must produce the same histogram.
+
+use proptest::prelude::*;
+use telemetry::{LogHistogram, Metrics};
+
+fn hist_of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// merge is commutative: a+b == b+a.
+    #[test]
+    fn merge_commutes(
+        a in prop::collection::vec(any::<u64>(), 0..200),
+        b in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// merge is associative: (a+b)+c == a+(b+c).
+    #[test]
+    fn merge_associates(
+        a in prop::collection::vec(any::<u64>(), 0..150),
+        b in prop::collection::vec(any::<u64>(), 0..150),
+        c in prop::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Recording order is invisible: any permutation-ish regrouping of the
+    /// observations (split at an arbitrary point, halves swapped) produces
+    /// the identical histogram — the serial-vs-pooled equivalence in
+    /// miniature.
+    #[test]
+    fn merge_is_order_independent(
+        values in prop::collection::vec(any::<u64>(), 1..300),
+        split in 0usize..10_000,
+    ) {
+        let cut = split % (values.len() + 1);
+        let serial = hist_of(&values);
+        let mut pooled = hist_of(&values[cut..]);
+        pooled.merge(&hist_of(&values[..cut]));
+        prop_assert_eq!(&serial, &pooled);
+        // Quantiles and summary stats agree too, by consequence.
+        prop_assert_eq!(serial.quantile(0.5), pooled.quantile(0.5));
+        prop_assert_eq!(serial.count(), pooled.count());
+        prop_assert_eq!(serial.max(), pooled.max());
+    }
+
+    /// The empty histogram is the identity element.
+    #[test]
+    fn empty_is_identity(values in prop::collection::vec(any::<u64>(), 0..200)) {
+        let h = hist_of(&values);
+        let mut left = LogHistogram::new();
+        left.merge(&h);
+        let mut right = h.clone();
+        right.merge(&LogHistogram::new());
+        prop_assert_eq!(&left, &h);
+        prop_assert_eq!(&right, &h);
+    }
+
+    /// The whole registry inherits the property: merging per-shard metrics
+    /// in any grouping yields the same counters and histograms.
+    #[test]
+    fn registry_merge_is_partition_independent(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+        split in 0usize..10_000,
+    ) {
+        let cut = split % (values.len() + 1);
+        let mk = |vs: &[u64]| {
+            let mut m = Metrics::new();
+            for &v in vs {
+                m.inc("n", 1);
+                m.observe("h", v);
+            }
+            m
+        };
+        let serial = mk(&values);
+        let mut pooled = mk(&values[..cut]);
+        pooled.merge(&mk(&values[cut..]));
+        prop_assert_eq!(serial.counter("n"), pooled.counter("n"));
+        prop_assert_eq!(serial.hist("h"), pooled.hist("h"));
+    }
+}

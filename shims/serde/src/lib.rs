@@ -38,6 +38,12 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

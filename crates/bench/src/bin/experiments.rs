@@ -10,6 +10,7 @@
 //!          robust-flap robust-ctrl-loss
 //!          bench-sweep  (pooled vs serial wall-clock, saves BENCH_sweep.json)
 //!          all          (everything above except bench-sweep)
+//!          check        (reproduction gate; see below)
 //!
 //! --jobs N sets the worker count for every sweep (default: available
 //! parallelism; --jobs 1 forces the serial path). Results are
@@ -18,6 +19,15 @@
 //! --telemetry DIR captures per-seed time-series (CSV), metrics (JSON)
 //! and flight-recorder dumps for failed seeds under numbered sweep
 //! subdirectories of DIR. Output is byte-identical at any --jobs value.
+//!
+//! experiments check [--target T] [--write-docs]
+//!
+//! Evaluates the shape-spec catalog (`crates/bench/src/spec.rs`) against
+//! the persisted `results/*.json` (honoring EAC_RESULTS_DIR) and exits
+//! non-zero if any EXPERIMENTS.md claim no longer holds. Without
+//! --target it also rewrites results/verdicts.json; with --write-docs it
+//! additionally regenerates the verdict block between the GENERATED
+//! VERDICTS markers in EXPERIMENTS.md (path override: EAC_DOCS_PATH).
 //! ```
 
 use eac_bench::experiments as ex;
@@ -68,8 +78,96 @@ fn parse_telemetry(args: &[String]) -> Option<String> {
     None
 }
 
+/// Parse `--target T` / `--target=T` for the check mode.
+fn parse_target(args: &[String]) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let val = if a == "--target" {
+            it.next().cloned()
+        } else if let Some(v) = a.strip_prefix("--target=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        match val {
+            Some(t) if !t.is_empty() && !t.starts_with("--") => return Some(t),
+            _ => {
+                eprintln!("--target takes a target name (got {val:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    None
+}
+
+/// The reproduction gate: evaluate the spec catalog against the results
+/// directory, persist verdicts, optionally regenerate the docs block.
+/// Exits 0 only if every checked claim holds.
+fn run_check(args: &[String]) -> ! {
+    use eac_bench::shapecheck;
+
+    let specs = eac_bench::spec::catalog();
+    let only = parse_target(args);
+    if let Some(t) = &only {
+        if !specs.iter().any(|s| s.target == t.as_str()) {
+            eprintln!("unknown check target '{t}'");
+            std::process::exit(2);
+        }
+    }
+    let write_docs = args.iter().any(|a| a == "--write-docs");
+    let dir = std::path::PathBuf::from(
+        std::env::var("EAC_RESULTS_DIR").unwrap_or_else(|_| "results".into()),
+    );
+    let verdicts = shapecheck::check_targets(&dir, &specs, only.as_deref());
+    for t in &verdicts.results {
+        println!(
+            "{} {} ({}/{} checks)",
+            if t.pass { "PASS" } else { "FAIL" },
+            t.target,
+            t.checks.iter().filter(|c| c.pass).count(),
+            t.checks.len()
+        );
+        for c in t.checks.iter().filter(|c| !c.pass) {
+            println!("     ✘ {} — {} [{}]", c.id, c.claim, c.detail);
+        }
+    }
+    println!(
+        "\n{}: {}/{} targets, {}/{} checks",
+        if verdicts.pass { "PASS" } else { "FAIL" },
+        verdicts.targets_passed,
+        verdicts.targets_checked,
+        verdicts.checks_passed,
+        verdicts.checks_total
+    );
+    // A --target run is a partial view; don't overwrite the full verdicts.
+    if only.is_none() {
+        eac_bench::output::save_json("verdicts", &verdicts);
+    }
+    if write_docs {
+        if only.is_some() {
+            eprintln!("--write-docs needs the full catalog; drop --target");
+            std::process::exit(2);
+        }
+        let path = std::env::var("EAC_DOCS_PATH").unwrap_or_else(|_| "EXPERIMENTS.md".to_string());
+        let doc =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let updated = shapecheck::inject_docs(&doc, &shapecheck::render_docs(&verdicts))
+            .unwrap_or_else(|e| panic!("cannot update {path}: {e}"));
+        if updated != doc {
+            std::fs::write(&path, &updated).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("updated {path}");
+        } else {
+            println!("{path} already up to date");
+        }
+    }
+    std::process::exit(if verdicts.pass { 0 } else { 1 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check") {
+        run_check(&args);
+    }
     let fid = Fidelity::from_args(&args);
     if let Some(n) = parse_jobs(&args) {
         pool::set_default_jobs(n);
@@ -98,6 +196,7 @@ fn main() {
             );
             eprintln!("targets: fig1 fig2 fig3 fig4..fig7 fig8a..fig8f fig9 fig11");
             eprintln!("         table3 table4 tables56 ablate-* robust-* bench-sweep all");
+            eprintln!("         check [--target T] [--write-docs]  (reproduction gate)");
             std::process::exit(2);
         });
 

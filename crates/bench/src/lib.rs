@@ -6,12 +6,18 @@
 //! presets (`--quick` vs `--paper`), the work pool and [`sweep::Sweep`]
 //! builder that parallelize every multi-run experiment deterministically,
 //! aligned table printing and JSON persistence under `results/`.
+//!
+//! The reproduction gate lives in [`shapecheck`] (the spec language and
+//! evaluator) and [`spec`] (the per-target catalog): `experiments --
+//! check` replays EXPERIMENTS.md's verdicts against `results/*.json`.
 
 pub mod catalog;
 pub mod experiments;
 pub mod output;
 pub mod pool;
 pub mod runner;
+pub mod shapecheck;
+pub mod spec;
 pub mod sweep;
 pub mod telemetry_session;
 
@@ -19,4 +25,6 @@ pub use catalog::{Workload, EPS_IN_BAND, EPS_OUT_OF_BAND, ETAS_MBAC};
 pub use output::{print_table, save_json};
 pub use pool::{available_jobs, default_jobs, set_default_jobs};
 pub use runner::{loss_load_curve, run_seeds, run_seeds_isolated, Fidelity, SeedOutcome};
+pub use shapecheck::{check_targets, TargetSpec, Verdicts};
+pub use spec::catalog as spec_catalog;
 pub use sweep::{Sweep, SweepResult, SweepTelemetry};

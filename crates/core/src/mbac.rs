@@ -1,6 +1,6 @@
 //! The router-based benchmark: Measured Sum admission control
-//! ([14] — Jamin, Shenker & Danzig, INFOCOM 1997), with the time-window
-//! load estimator.
+//! (the paper's \[14\] — Jamin, Shenker & Danzig, INFOCOM 1997), with
+//! the time-window load estimator.
 //!
 //! Measured Sum admits a flow requesting rate `r` iff `ν̂ + r ≤ η·C`,
 //! where `ν̂` is the measured load of admission-controlled traffic and η

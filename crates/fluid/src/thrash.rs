@@ -90,7 +90,7 @@ impl RunAreas {
 pub struct ThrashPoint {
     /// Mean probe duration, seconds (x-axis).
     pub mean_probe_s: f64,
-    /// Useful utilization E[n]·r/C (Fig 1a; identical for in-band and
+    /// Useful utilization E\[n\]·r/C (Fig 1a; identical for in-band and
     /// out-of-band probing).
     pub utilization: f64,
     /// In-band data packet loss fraction (Fig 1b; out-of-band is zero by

@@ -1,6 +1,7 @@
 //! # netsim — packet-level network simulation substrate
 //!
-//! The stand-in for the ns-2 models the paper used: store-and-forward
+//! The workspace's middle layer — the stand-in for the ns-2 models the
+//! paper used (§3.1): store-and-forward
 //! links driven by a discrete-event calendar, the router queueing
 //! mechanisms the paper's architectural discussion needs (drop-tail, RED,
 //! strict priority with probe push-out and aggregate rate limits, DRR fair

@@ -4,7 +4,7 @@
 //! are [`Agent`]s attached to nodes, in the style of ns-2. The driver pops
 //! events from the calendar and dispatches:
 //!
-//! - link events to the [`Network`](crate::Network);
+//! - link events to the [`Network`];
 //! - packet deliveries to the destination node's agent (packets arriving at
 //!   intermediate nodes are forwarded automatically, so routers need no
 //!   agent);

@@ -1,6 +1,11 @@
 //! # simcore — deterministic discrete-event simulation engine
 //!
-//! The foundation of the endpoint-admission-control reproduction. Provides:
+//! The bottom layer of the workspace: every other crate (netsim's packet
+//! substrate, the traffic sources, the eac protocol, the bench sweeps)
+//! schedules through this engine, and it in turn knows nothing about
+//! networking or the paper — it exists so the §3 simulation methodology
+//! (long horizons, warm-up discard, seed averaging) is exactly
+//! repeatable. Provides:
 //!
 //! - [`SimTime`] / [`SimDuration`]: integer-nanosecond time, so event
 //!   ordering never depends on floating-point rounding;

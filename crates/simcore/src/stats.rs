@@ -219,7 +219,7 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile `q` in [0,1] from the binned data (bin lower edge).
+    /// Approximate quantile `q` in \[0,1\] from the binned data (bin lower edge).
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q));
         if self.count == 0 {

@@ -15,8 +15,11 @@
 //!   when a run dies, so post-mortems start with the final seconds of
 //!   context instead of a bare error string.
 //!
-//! The crate is deliberately low in the dependency graph (simcore + the
-//! serialization shims only): `netsim` owns the hot-path touch points,
+//! Observability is beyond the paper itself — it exists so the §3
+//! experiments and the robustness extensions can be debugged from
+//! instrument readings rather than re-runs. The crate is deliberately
+//! low in the dependency graph (simcore + the serialization shims
+//! only): `netsim` owns the hot-path touch points,
 //! `eac` wires scenario plumbing, and `eac-bench` merges, aggregates and
 //! exports across sweep grids.
 

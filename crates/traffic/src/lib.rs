@@ -7,7 +7,10 @@
 //!
 //! Sources are pull-based [`PacketProcess`]es — pure generators returning
 //! (gap, size) pairs — which host agents in the `eac` crate turn into
-//! timer-driven packet emissions.
+//! timer-driven packet emissions. In the workspace layering this crate
+//! sits beside `netsim` (it models what endpoints *send*, per the
+//! paper's §3.2 workload catalogue, not how the network carries it) and
+//! below `eac`, which owns the admission protocol.
 
 pub mod process;
 pub mod shaper;

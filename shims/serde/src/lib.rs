@@ -32,6 +32,84 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Member lookup on an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element lookup on an array; `None` out of range or for non-arrays.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `UInt`, `Int` and `Float` all coerce to `f64`
+    /// (counters in result files are integers, rates are floats).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view (exact; floats only if integral and in range).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            Value::Float(x) if x.fract() == 0.0 && *x >= 0.0 && *x < 2f64.powi(53) => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object view (insertion-ordered key/value pairs).
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 /// Conversion into the [`Value`] tree.
 pub trait Serialize {
     /// Build the value tree for `self`.
@@ -160,5 +238,28 @@ mod tests {
             Value::Array(vec![Value::UInt(1), Value::Float(2.5)])
         );
         assert_eq!(None::<u32>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Float(0.5)),
+            ("n".into(), Value::UInt(7)),
+            ("s".into(), Value::Str("x".into())),
+            ("l".into(), Value::Array(vec![Value::Int(-1)])),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(
+            v.get("l").and_then(|l| l.at(0)).and_then(Value::as_f64),
+            Some(-1.0)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.at(0), None);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Float(1.5).as_u64(), None);
+        assert_eq!(Value::Float(3.0).as_u64(), Some(3));
     }
 }
